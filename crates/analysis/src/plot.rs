@@ -1,0 +1,126 @@
+//! Minimal ASCII charts for terminal output.
+//!
+//! The experiment harness prints series (skew by layer, potential
+//! trajectories) as small text charts so the paper's *figures* are
+//! recognizable at a glance without a plotting stack.
+
+use std::fmt::Write as _;
+
+/// Renders one or more named series as an ASCII line chart.
+///
+/// Each series is a sequence of `(x, y)`-implicit values (`x` = index).
+/// Values are scaled into `height` rows; each series uses its own glyph.
+/// `None` values are gaps.
+///
+/// # Examples
+///
+/// ```
+/// use trix_analysis::ascii_chart;
+///
+/// let chart = ascii_chart(
+///     "skew by layer",
+///     &[("naive", &[Some(0.0), Some(1.0), Some(2.0)][..])],
+///     8,
+///     40,
+/// );
+/// assert!(chart.contains("skew by layer"));
+/// assert!(chart.contains("naive"));
+/// ```
+pub fn ascii_chart(
+    title: &str,
+    series: &[(&str, &[Option<f64>])],
+    height: usize,
+    width: usize,
+) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let height = height.max(2);
+    let width = width.max(8);
+
+    let mut min = f64::MAX;
+    let mut max = f64::MIN;
+    let mut max_len = 0usize;
+    for (_, values) in series {
+        max_len = max_len.max(values.len());
+        for v in values.iter().flatten() {
+            min = min.min(*v);
+            max = max.max(*v);
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if max_len == 0 || min > max {
+        let _ = writeln!(out, "  (no data)");
+        return out;
+    }
+    if (max - min).abs() < 1e-12 {
+        max = min + 1.0;
+    }
+
+    // Sample each series into `width` columns.
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, values)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        #[allow(clippy::needless_range_loop)] // col drives the sampling index
+        for col in 0..width {
+            let idx = col * max_len / width;
+            let Some(Some(v)) = values.get(idx) else {
+                continue;
+            };
+            let frac = (v - min) / (max - min);
+            let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = glyph;
+        }
+    }
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{max:>10.2}")
+        } else if r == height - 1 {
+            format!("{min:>10.2}")
+        } else {
+            " ".repeat(10)
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{label} |{line}");
+    }
+    let _ = writeln!(out, "{} +{}", " ".repeat(10), "-".repeat(width));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {name}", GLYPHS[i % GLYPHS.len()]))
+        .collect();
+    let _ = writeln!(out, "{} {}", " ".repeat(10), legend.join("   "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_two_series() {
+        let a: Vec<Option<f64>> = (0..20).map(|i| Some(i as f64)).collect();
+        let b: Vec<Option<f64>> = (0..20).map(|i| Some((20 - i) as f64)).collect();
+        let chart = ascii_chart("cross", &[("up", &a), ("down", &b)], 10, 40);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("up"));
+        assert!(chart.contains("down"));
+        assert!(chart.lines().count() >= 12);
+    }
+
+    #[test]
+    fn handles_empty_and_constant() {
+        let chart = ascii_chart("empty", &[("x", &[][..])], 5, 20);
+        assert!(chart.contains("no data"));
+        let c: Vec<Option<f64>> = vec![Some(3.0); 5];
+        let chart = ascii_chart("flat", &[("x", &c)], 5, 20);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn gaps_are_skipped() {
+        let v = vec![Some(1.0), None, Some(2.0), None, Some(3.0)];
+        let chart = ascii_chart("gaps", &[("g", &v)], 6, 10);
+        assert!(chart.contains('*'));
+    }
+}

@@ -1,0 +1,280 @@
+//! The HEX pulse-forwarding scheme (Dolev et al., DFL+16).
+//!
+//! HEX fires a node when it has received pulses from **two** of its four
+//! in-neighbors — two on the previous layer, two on the same layer (see
+//! [`trix_topology::HexGrid`]). Firing propagates both down-layer and
+//! along the layer, so pulse times are solved with a time-ordered
+//! relaxation (a Dijkstra-style sweep) rather than layer by layer.
+//!
+//! The paper's Figure 1 (right) highlights HEX's weakness: if a node's
+//! previous-layer in-neighbor crashes, the node must wait for an
+//! *in-layer* pulse, adding a full message delay `d` (not just the
+//! uncertainty `u`) to its firing time — hence the `d + O(u²D/d)` local
+//! skew of DFL+16 versus Gradient TRIX's `O(κ log D)`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use trix_sim::Rng;
+use trix_time::{Duration, Time};
+use trix_topology::{HexGrid, HexNodeId};
+
+/// Per-directed-link delays for a HEX grid.
+#[derive(Clone, Debug, Default)]
+pub struct HexEnvironment {
+    delays: HashMap<(HexNodeId, HexNodeId), Duration>,
+    default: Duration,
+}
+
+impl HexEnvironment {
+    /// All links share the fixed delay `d`.
+    pub fn fixed(d: Duration) -> Self {
+        assert!(d > Duration::ZERO, "delay must be positive");
+        Self {
+            delays: HashMap::new(),
+            default: d,
+        }
+    }
+
+    /// Uniformly random delays in `[d−u, d]` for every link of `grid`.
+    pub fn random(grid: &HexGrid, d: Duration, u: Duration, rng: &mut Rng) -> Self {
+        assert!(u >= Duration::ZERO && u < d, "need 0 <= u < d");
+        let mut delays = HashMap::new();
+        for from in grid.nodes() {
+            for to in grid.out_neighbors(from) {
+                delays.insert(
+                    (from, to),
+                    Duration::from(rng.f64_in(d.as_f64() - u.as_f64(), d.as_f64())),
+                );
+            }
+        }
+        Self { delays, default: d }
+    }
+
+    /// Overrides one link's delay.
+    pub fn set(&mut self, from: HexNodeId, to: HexNodeId, delay: Duration) {
+        self.delays.insert((from, to), delay);
+    }
+
+    /// The delay of a link.
+    pub fn delay(&self, from: HexNodeId, to: HexNodeId) -> Duration {
+        self.delays.get(&(from, to)).copied().unwrap_or(self.default)
+    }
+}
+
+/// The result of propagating one pulse through a HEX grid.
+#[derive(Clone, Debug)]
+pub struct HexPulse {
+    grid: HexGrid,
+    times: Vec<Option<Time>>,
+}
+
+impl HexPulse {
+    /// Firing time of a node (`None` if it never collected two pulses or
+    /// is faulty).
+    pub fn time(&self, n: HexNodeId) -> Option<Time> {
+        self.times[self.grid.node_index(n)]
+    }
+
+    /// Maximum firing-time difference between *intra-layer adjacent*
+    /// correct nodes on `layer`. Pairs involving a node that never fired
+    /// (crashed) are skipped.
+    pub fn local_skew(&self, layer: usize) -> Option<Duration> {
+        let w = self.grid.width();
+        let mut worst: Option<Duration> = None;
+        for i in 0..w {
+            let Some(a) = self.time(self.grid.node(i, layer)) else {
+                continue;
+            };
+            let Some(b) = self.time(self.grid.node((i + 1) % w, layer)) else {
+                continue;
+            };
+            let skew = (a - b).abs();
+            worst = Some(worst.map_or(skew, |x| x.max(skew)));
+        }
+        worst
+    }
+}
+
+/// Propagates a single pulse through the HEX grid.
+///
+/// `layer0[i]` is the externally supplied firing time of node `(i, 0)`;
+/// `faulty` nodes never fire (crash faults — the failure mode Figure 1
+/// discusses).
+///
+/// # Panics
+///
+/// Panics if `layer0.len() != grid.width()`.
+///
+/// # Examples
+///
+/// ```
+/// use trix_baselines::{run_hex_pulse, HexEnvironment};
+/// use trix_time::{Duration, Time};
+/// use trix_topology::HexGrid;
+///
+/// let grid = HexGrid::new(6, 4);
+/// let env = HexEnvironment::fixed(Duration::from(10.0));
+/// let layer0: Vec<Time> = vec![Time::ZERO; 6];
+/// let pulse = run_hex_pulse(&grid, &env, &layer0, &Default::default());
+/// // With uniform delays each layer fires exactly d later.
+/// assert_eq!(pulse.time(grid.node(2, 3)), Some(Time::from(30.0)));
+/// ```
+pub fn run_hex_pulse(
+    grid: &HexGrid,
+    env: &HexEnvironment,
+    layer0: &[Time],
+    faulty: &HashSet<HexNodeId>,
+) -> HexPulse {
+    assert_eq!(layer0.len(), grid.width(), "one layer-0 time per column");
+
+    #[derive(PartialEq, Eq)]
+    struct Arrival {
+        at: Time,
+        seq: u64,
+        to: HexNodeId,
+    }
+    impl Ord for Arrival {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (self.at, self.seq).cmp(&(other.at, other.seq))
+        }
+    }
+    impl PartialOrd for Arrival {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut times: Vec<Option<Time>> = vec![None; grid.node_count()];
+    let mut received: Vec<u8> = vec![0; grid.node_count()];
+    let mut heap: BinaryHeap<Reverse<Arrival>> = BinaryHeap::new();
+    let mut seq = 0u64;
+
+    let fire = |node: HexNodeId,
+                    at: Time,
+                    times: &mut Vec<Option<Time>>,
+                    heap: &mut BinaryHeap<Reverse<Arrival>>,
+                    seq: &mut u64| {
+        let idx = grid.node_index(node);
+        if times[idx].is_some() {
+            return;
+        }
+        times[idx] = Some(at);
+        for to in grid.out_neighbors(node) {
+            heap.push(Reverse(Arrival {
+                at: at + env.delay(node, to),
+                seq: *seq,
+                to,
+            }));
+            *seq += 1;
+        }
+    };
+
+    for (i, &t) in layer0.iter().enumerate() {
+        let node = grid.node(i, 0);
+        if !faulty.contains(&node) {
+            fire(node, t, &mut times, &mut heap, &mut seq);
+        }
+    }
+
+    while let Some(Reverse(arrival)) = heap.pop() {
+        let idx = grid.node_index(arrival.to);
+        if times[idx].is_some() || faulty.contains(&arrival.to) {
+            continue;
+        }
+        received[idx] += 1;
+        if received[idx] == 2 {
+            fire(arrival.to, arrival.at, &mut times, &mut heap, &mut seq);
+        }
+    }
+
+    HexPulse {
+        grid: grid.clone(),
+        times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_delays_give_zero_skew() {
+        let grid = HexGrid::new(8, 5);
+        let env = HexEnvironment::fixed(Duration::from(10.0));
+        let layer0 = vec![Time::ZERO; 8];
+        let pulse = run_hex_pulse(&grid, &env, &layer0, &HashSet::new());
+        for layer in 1..5 {
+            assert_eq!(pulse.local_skew(layer), Some(Duration::ZERO));
+            for i in 0..8 {
+                assert_eq!(
+                    pulse.time(grid.node(i, layer)),
+                    Some(Time::from(10.0 * layer as f64))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_previous_layer_neighbor_costs_a_full_delay() {
+        // Figure 1 (right): crash one node; its successors must wait for
+        // an in-layer pulse, adding ~d to their firing time.
+        let grid = HexGrid::new(8, 5);
+        let d = Duration::from(10.0);
+        let env = HexEnvironment::fixed(d);
+        let layer0 = vec![Time::ZERO; 8];
+        let crashed: HashSet<_> = [grid.node(3, 2)].into_iter().collect();
+        let pulse = run_hex_pulse(&grid, &env, &layer0, &crashed);
+        // Node (3, 3) lost one of its two previous-layer feeds (only
+        // (2, 2) remains): its second pulse comes from an in-layer
+        // neighbor at 3d, arriving at 4d instead of 3d.
+        let victim = pulse.time(grid.node(3, 3)).unwrap();
+        assert_eq!(victim, Time::from(40.0));
+        // The local skew on layer 3 jumps to a full d.
+        assert_eq!(pulse.local_skew(3), Some(d));
+        // Everyone still fires (1-fault tolerance).
+        for n in grid.nodes() {
+            if !crashed.contains(&n) {
+                assert!(pulse.time(n).is_some(), "{n} must fire");
+            }
+        }
+    }
+
+    #[test]
+    fn random_delays_keep_skew_moderate_without_faults() {
+        let grid = HexGrid::new(16, 12);
+        let d = Duration::from(10.0);
+        let u = Duration::from(1.0);
+        let mut rng = Rng::seed_from(5);
+        let env = HexEnvironment::random(&grid, d, u, &mut rng);
+        let layer0 = vec![Time::ZERO; 16];
+        let pulse = run_hex_pulse(&grid, &env, &layer0, &HashSet::new());
+        // Without faults skew stays well below d (the DFL+16 bound is
+        // d + O(u²D/d); fault-free the additive d disappears).
+        let skew = pulse.local_skew(11).unwrap();
+        assert!(skew < d, "skew {skew} should stay below d fault-free");
+        assert!(skew > Duration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let grid = HexGrid::new(8, 6);
+        let d = Duration::from(10.0);
+        let u = Duration::from(1.0);
+        let env1 = HexEnvironment::random(&grid, d, u, &mut Rng::seed_from(9));
+        let env2 = HexEnvironment::random(&grid, d, u, &mut Rng::seed_from(9));
+        let layer0 = vec![Time::ZERO; 8];
+        let p1 = run_hex_pulse(&grid, &env1, &layer0, &HashSet::new());
+        let p2 = run_hex_pulse(&grid, &env2, &layer0, &HashSet::new());
+        for n in grid.nodes() {
+            assert_eq!(p1.time(n), p2.time(n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one layer-0 time per column")]
+    fn rejects_wrong_layer0_width() {
+        let grid = HexGrid::new(8, 3);
+        let env = HexEnvironment::fixed(Duration::from(1.0));
+        let _ = run_hex_pulse(&grid, &env, &[Time::ZERO; 3], &HashSet::new());
+    }
+}

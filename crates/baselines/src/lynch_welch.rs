@@ -1,0 +1,235 @@
+//! The Lynch–Welch clock synchronization algorithm (WL88) on a complete
+//! graph — the first two rows of the paper's Table 1.
+//!
+//! Lynch–Welch achieves `O(1)` skew (independent of any diameter — the
+//! graph is complete, `D = 1`) tolerating `f < n/3` Byzantine nodes, at
+//! the cost of **full connectivity**: exactly the trade-off Gradient TRIX
+//! escapes with its degree-3 grid.
+//!
+//! Round structure (classic approximate agreement on pulse times):
+//! each node broadcasts a pulse, timestamps everyone's pulses, discards
+//! the `f` smallest and `f` largest reception offsets, and shifts its next
+//! pulse by the midpoint of the surviving extremes. Per round the skew
+//! contracts by ≈ ½ down to a floor of `Θ(u + (ϑ−1)·P)` (`P` = round
+//! period).
+
+use trix_sim::Rng;
+use trix_time::Duration;
+
+/// Configuration of a Lynch–Welch cluster.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LynchWelchConfig {
+    /// Number of nodes (complete graph).
+    pub n: usize,
+    /// Byzantine tolerance; requires `n > 3f`.
+    pub f: usize,
+    /// Maximum message delay.
+    pub d: Duration,
+    /// Delay uncertainty (delays in `[d−u, d]`).
+    pub u: Duration,
+    /// Hardware clock drift bound.
+    pub theta: f64,
+    /// Round period (time between pulses).
+    pub period: Duration,
+}
+
+impl LynchWelchConfig {
+    /// Validates `n > 3f` and the timing parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n ≤ 3f`, `n < 2`, or `u ≥ d`.
+    pub fn validate(&self) {
+        assert!(self.n >= 2, "need at least two nodes");
+        assert!(self.n > 3 * self.f, "Lynch–Welch requires n > 3f");
+        assert!(
+            self.u >= Duration::ZERO && self.u < self.d,
+            "need 0 <= u < d"
+        );
+        assert!(self.theta >= 1.0, "theta >= 1");
+        assert!(self.period > self.d * 4.0, "period must dominate delays");
+    }
+}
+
+/// The result of a Lynch–Welch run: correct-node skew after each round.
+#[derive(Clone, Debug)]
+pub struct LynchWelchRun {
+    /// Worst pairwise offset among correct nodes, per round (index 0 =
+    /// initial condition).
+    pub skew_per_round: Vec<Duration>,
+}
+
+/// Simulates `rounds` rounds of Lynch–Welch.
+///
+/// `initial_offsets[i]` is node `i`'s starting phase; nodes `0..f` are
+/// Byzantine and send each receiver an *independent* adversarial offset
+/// drawn within `±attack` of the correct window (two-faced behavior, the
+/// worst case for averaging algorithms).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or
+/// `initial_offsets.len() != n`.
+///
+/// # Examples
+///
+/// ```
+/// use trix_baselines::{run_lynch_welch, LynchWelchConfig};
+/// use trix_sim::Rng;
+/// use trix_time::Duration;
+///
+/// let cfg = LynchWelchConfig {
+///     n: 7,
+///     f: 2,
+///     d: Duration::from(100.0),
+///     u: Duration::from(1.0),
+///     theta: 1.0001,
+///     period: Duration::from(1000.0),
+/// };
+/// let offsets: Vec<f64> = (0..7).map(|i| i as f64 * 3.0).collect();
+/// let run = run_lynch_welch(&cfg, &offsets, Duration::from(50.0), 8, &mut Rng::seed_from(1));
+/// // Initial skew 18 contracts to the u-scale floor.
+/// assert!(run.skew_per_round[8] < run.skew_per_round[0] / 4.0);
+/// ```
+pub fn run_lynch_welch(
+    cfg: &LynchWelchConfig,
+    initial_offsets: &[f64],
+    attack: Duration,
+    rounds: usize,
+    rng: &mut Rng,
+) -> LynchWelchRun {
+    cfg.validate();
+    assert_eq!(initial_offsets.len(), cfg.n, "one offset per node");
+
+    // Per-node clock rates, fixed for the run (static model).
+    let rates: Vec<f64> = (0..cfg.n).map(|_| rng.f64_in(1.0, cfg.theta)).collect();
+    let mut offsets: Vec<f64> = initial_offsets.to_vec();
+    let byzantine = cfg.f;
+
+    let correct_skew = |offsets: &[f64]| {
+        let correct = &offsets[byzantine..];
+        let min = correct.iter().cloned().fold(f64::MAX, f64::min);
+        let max = correct.iter().cloned().fold(f64::MIN, f64::max);
+        Duration::from(max - min)
+    };
+
+    let mut skew_per_round = vec![correct_skew(&offsets)];
+    for _round in 0..rounds {
+        let mut next = offsets.clone();
+        for i in byzantine..cfg.n {
+            // Reception offsets of everyone's pulses at node i, with
+            // per-link delay jitter; Byzantine senders pick adversarial
+            // per-receiver offsets.
+            let mut received: Vec<f64> = Vec::with_capacity(cfg.n);
+            #[allow(clippy::needless_range_loop)] // j distinguishes Byzantine senders by index
+            for j in 0..cfg.n {
+                let base = if j < byzantine {
+                    rng.f64_in(-attack.as_f64(), attack.as_f64())
+                } else {
+                    offsets[j]
+                };
+                // Only the uncertainty matters for relative offsets; the
+                // common d cancels in the correction.
+                let jitter = rng.f64_in(-cfg.u.as_f64(), 0.0);
+                received.push(base + jitter);
+            }
+            received.sort_by(f64::total_cmp);
+            // Discard f smallest and f largest, midpoint the survivors.
+            let trimmed = &received[cfg.f..cfg.n - cfg.f];
+            let target = (trimmed[0] + trimmed[trimmed.len() - 1]) / 2.0;
+            // Apply the correction, perturbed by drift over one period
+            // (measurement happens on the local clock).
+            let drift = (rates[i] - 1.0) * cfg.period.as_f64();
+            next[i] = offsets[i] + (target - offsets[i]) + rng.f64_in(-drift.abs(), drift.abs());
+        }
+        offsets = next;
+        skew_per_round.push(correct_skew(&offsets));
+    }
+    LynchWelchRun { skew_per_round }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LynchWelchConfig {
+        LynchWelchConfig {
+            n: 10,
+            f: 3,
+            d: Duration::from(100.0),
+            u: Duration::from(1.0),
+            theta: 1.0001,
+            period: Duration::from(1000.0),
+        }
+    }
+
+    #[test]
+    fn converges_to_u_scale_floor() {
+        let cfg = cfg();
+        let offsets: Vec<f64> = (0..10).map(|i| i as f64 * 10.0).collect();
+        let run = run_lynch_welch(
+            &cfg,
+            &offsets,
+            Duration::from(100.0),
+            12,
+            &mut Rng::seed_from(7),
+        );
+        let initial = run.skew_per_round[0].as_f64();
+        let final_skew = run.skew_per_round[12].as_f64();
+        assert!(initial >= 60.0);
+        // Floor is O(u + (theta-1)*period) ~ a few units.
+        assert!(final_skew < 6.0, "final skew {final_skew}");
+    }
+
+    #[test]
+    fn skew_roughly_halves_per_round_initially() {
+        let cfg = cfg();
+        let offsets: Vec<f64> = (0..10).map(|i| i as f64 * 20.0).collect();
+        let run = run_lynch_welch(
+            &cfg,
+            &offsets,
+            Duration::from(10.0),
+            4,
+            &mut Rng::seed_from(3),
+        );
+        let r0 = run.skew_per_round[0].as_f64();
+        let r2 = run.skew_per_round[2].as_f64();
+        assert!(r2 < r0 * 0.5, "contraction too slow: {r0} -> {r2}");
+    }
+
+    #[test]
+    fn byzantine_nodes_cannot_prevent_convergence() {
+        // Max attack amplitude, full f = floor((n-1)/3).
+        let cfg = LynchWelchConfig {
+            n: 7,
+            f: 2,
+            ..self::cfg()
+        };
+        let offsets: Vec<f64> = (0..7).map(|i| (i % 3) as f64 * 15.0).collect();
+        let run = run_lynch_welch(
+            &cfg,
+            &offsets,
+            Duration::from(1000.0),
+            15,
+            &mut Rng::seed_from(11),
+        );
+        assert!(run.skew_per_round[15].as_f64() < 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 3f")]
+    fn rejects_too_many_faults() {
+        let mut c = cfg();
+        c.f = 4;
+        c.validate();
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = cfg();
+        let offsets: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let a = run_lynch_welch(&cfg, &offsets, Duration::from(5.0), 5, &mut Rng::seed_from(2));
+        let b = run_lynch_welch(&cfg, &offsets, Duration::from(5.0), 5, &mut Rng::seed_from(2));
+        assert_eq!(a.skew_per_round, b.skew_per_round);
+    }
+}

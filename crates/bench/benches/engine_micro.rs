@@ -1,0 +1,95 @@
+//! Micro-benchmarks of the simulation substrate and the core decision
+//! procedure: correction computation, full Algorithm 3 decision, dataflow
+//! pulses/second, and DES events/second.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use trix_core::{correction, CorrectionConfig, GradientTrixRule, GridNodeConfig, GridNetwork, Layer0Line, Params};
+use trix_sim::{run_dataflow, CorrectSends, Rng, StaticEnvironment};
+use trix_time::{Duration, LocalTime, Time};
+use trix_topology::{BaseGraph, LayeredGraph};
+
+fn params() -> Params {
+    Params::with_standard_lambda(Duration::from(2000.0), Duration::from(1.0), 1.0001)
+}
+
+fn bench_correction(c: &mut Criterion) {
+    let p = params();
+    let cfg = CorrectionConfig::paper();
+    c.bench_function("correction_fn", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 0.1;
+            let h = LocalTime::from(100.0 + x.sin());
+            black_box(correction(
+                &p,
+                h,
+                LocalTime::from(99.0),
+                Some(LocalTime::from(101.5)),
+                &cfg,
+            ))
+        })
+    });
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let p = params();
+    let rule = GradientTrixRule::new(p);
+    c.bench_function("algorithm3_decide", |b| {
+        b.iter(|| {
+            black_box(rule.decide(
+                Some(LocalTime::from(100.3)),
+                &[
+                    Some(LocalTime::from(99.9)),
+                    Some(LocalTime::from(101.2)),
+                    None,
+                ],
+            ))
+        })
+    });
+}
+
+fn bench_dataflow(c: &mut Criterion) {
+    let p = params();
+    let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(32), 32);
+    let mut rng = Rng::seed_from(1);
+    let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+    let layer0 = Layer0Line::random_for_line(&p, g.width(), &mut rng);
+    let rule = GradientTrixRule::new(p);
+    let mut group = c.benchmark_group("dataflow");
+    group.throughput(Throughput::Elements(g.node_count() as u64));
+    group.bench_function("pulse_32x32", |b| {
+        b.iter(|| black_box(run_dataflow(&g, &env, &layer0, &rule, &CorrectSends, 1)))
+    });
+    group.finish();
+}
+
+fn bench_des(c: &mut Criterion) {
+    let p = params();
+    let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(6), 6);
+    let mut group = c.benchmark_group("des");
+    group.bench_function("grid_6x6_10_pulses", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = Rng::seed_from(7);
+                let env =
+                    StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+                let cfg = GridNodeConfig::standard(p, g.base().diameter());
+                GridNetwork::build(&g, &p, &env, cfg, 10, &mut rng, |_, _| None)
+            },
+            |mut net| {
+                net.run(Time::from(1e9));
+                black_box(net.des.events_processed())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_correction, bench_decide, bench_dataflow, bench_des
+);
+criterion_main!(micro);

@@ -1,0 +1,140 @@
+//! One criterion bench per paper table/figure/theorem: each benchmark
+//! runs the corresponding experiment workload at reduced scale, so
+//! `cargo bench` both times the reproduction pipeline and re-executes
+//! every claim check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trix_bench::*;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_comparison", |b| {
+        b.iter(|| black_box(exp_table1::run(&[8, 16])))
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_trix_hex_skew", |b| {
+        b.iter(|| {
+            black_box(exp_fig1::run_skew_by_layer(12));
+            black_box(exp_fig1::run_hex_crash(8, 6));
+        })
+    });
+}
+
+fn bench_fig23(c: &mut Criterion) {
+    c.bench_function("fig2_fig3_topology", |b| {
+        b.iter(|| black_box(exp_fig23::run(&[8, 16, 32])))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_conditions", |b| {
+        b.iter(|| black_box(exp_fig4::run(10, 2, &[0])))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_jc_ablation", |b| {
+        b.iter(|| black_box(exp_fig5::run(8, 16, &[1.5, 0.0, -0.5])))
+    });
+}
+
+fn bench_thm11(c: &mut Criterion) {
+    c.bench_function("thm11_fault_free", |b| {
+        b.iter(|| black_box(exp_thm11::run(&[8, 16], 2, &[0])))
+    });
+}
+
+fn bench_thm12(c: &mut Criterion) {
+    c.bench_function("thm12_worst_case_faults", |b| {
+        b.iter(|| black_box(exp_thm12::run(12, 3, 2, &[0])))
+    });
+}
+
+fn bench_thm13(c: &mut Criterion) {
+    c.bench_function("thm13_random_faults", |b| {
+        b.iter(|| black_box(exp_thm13::run(&[16], 0.4, 2, &[0])))
+    });
+}
+
+fn bench_thm14(c: &mut Criterion) {
+    c.bench_function("thm14_interlayer", |b| {
+        b.iter(|| black_box(exp_thm14::run(12, 3, &[0])))
+    });
+}
+
+fn bench_thm16(c: &mut Criterion) {
+    c.bench_function("thm16_self_stab", |b| {
+        b.iter(|| {
+            black_box(exp_thm16::run(&[4], &[0]));
+            black_box(exp_thm16::run_layer0(8, &[0]));
+        })
+    });
+}
+
+fn bench_lem_a1(c: &mut Criterion) {
+    c.bench_function("lemA1_layer0", |b| {
+        b.iter(|| black_box(exp_lem_a1::run(&[16, 64], &[0, 1])))
+    });
+}
+
+fn bench_cor423(c: &mut Criterion) {
+    c.bench_function("cor423_global", |b| {
+        b.iter(|| black_box(exp_cor423::run(12, 2, &[0])))
+    });
+}
+
+fn bench_kappa_sweep(c: &mut Criterion) {
+    c.bench_function("kappa_sweep", |b| {
+        b.iter(|| black_box(exp_kappa_sweep::run(10, &[0])))
+    });
+}
+
+fn bench_ext_f2(c: &mut Criterion) {
+    c.bench_function("ext_f2", |b| {
+        b.iter(|| black_box(exp_ext_f2::run(12, 8, &[0])))
+    });
+}
+
+fn bench_lynch_welch(c: &mut Criterion) {
+    c.bench_function("table1_lw", |b| {
+        b.iter(|| black_box(exp_lynch_welch::run(7, 2, 6, &[0])))
+    });
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    c.bench_function("thm426_recovery", |b| {
+        b.iter(|| black_box(exp_recovery::run(10, 16, 20.0)))
+    });
+}
+
+fn bench_missing_policy(c: &mut Criterion) {
+    c.bench_function("missing_policy", |b| {
+        b.iter(|| black_box(exp_missing_policy::run(10, 3, 2, &[0])))
+    });
+}
+
+criterion_group!(
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_table1,
+        bench_fig1,
+        bench_fig23,
+        bench_fig4,
+        bench_fig5,
+        bench_thm11,
+        bench_thm12,
+        bench_thm13,
+        bench_thm14,
+        bench_thm16,
+        bench_lem_a1,
+        bench_cor423,
+        bench_missing_policy,
+        bench_kappa_sweep,
+        bench_ext_f2,
+        bench_lynch_welch,
+        bench_recovery
+);
+criterion_main!(experiments);

@@ -1,0 +1,57 @@
+//! `gradient-trix-experiments` — regenerates every table and figure of
+//! the paper's evaluation (see DESIGN.md's experiment index).
+//!
+//! Usage:
+//!
+//! ```text
+//! gradient-trix-experiments [--quick] [--csv] [--out DIR]
+//! ```
+//!
+//! `--quick` runs reduced sizes (seconds instead of minutes); `--csv`
+//! emits CSV instead of markdown; `--out DIR` additionally writes one
+//! `.md` and one `.csv` file per table into `DIR`.
+
+use trix_bench::{run_all, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let csv = args.iter().any(|a| a == "--csv");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if args.iter().any(|a| a == "--help") {
+        println!("usage: gradient-trix-experiments [--quick] [--csv] [--out DIR]");
+        return;
+    }
+
+    println!("# Gradient TRIX — experiment suite ({scale:?} scale)\n");
+    println!(
+        "Parameters: d = 2000, u = 1, theta = 1.0001, lambda = 2d, kappa ≈ 2.43 \
+         (abstract picoseconds).\n"
+    );
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    let start = std::time::Instant::now();
+    for (i, table) in run_all(scale).into_iter().enumerate() {
+        if csv {
+            println!("{}", table.to_csv());
+        } else {
+            println!("{}", table.to_markdown());
+        }
+        if let Some(dir) = &out_dir {
+            let stem = format!("{dir}/table_{i:02}");
+            std::fs::write(format!("{stem}.md"), table.to_markdown())
+                .expect("write markdown");
+            std::fs::write(format!("{stem}.csv"), table.to_csv()).expect("write csv");
+        }
+    }
+    eprintln!("total wall time: {:.1?}", start.elapsed());
+}

@@ -1,0 +1,145 @@
+//! Shared setup for all experiments.
+
+use trix_core::{GradientTrixRule, Layer0Line, Params};
+use trix_sim::{run_dataflow, PulseTrace, Rng, SendModel, StaticEnvironment};
+use trix_time::Duration;
+use trix_topology::{BaseGraph, LayeredGraph};
+
+/// Canonical VLSI-flavored parameters used across experiments (units:
+/// picoseconds): `d = 2000`, `u = 1`, `ϑ = 1.0001`, `Λ = 2d`.
+///
+/// These mirror the paper's regime `d ≫ u + (ϑ−1)d`: `κ ≈ 2.4 ps` while
+/// `d = 2 ns`, so `Λ − d` has ample headroom for the skew bounds at every
+/// diameter used here (checked by [`Params::supports_skew`]).
+pub fn standard_params() -> Params {
+    Params::with_standard_lambda(Duration::from(2000.0), Duration::from(1.0), 1.0001)
+}
+
+/// The paper's square deployment: base graph = line with replicated ends
+/// of length `width`, `width` layers.
+pub fn square_grid(width: usize) -> LayeredGraph {
+    LayeredGraph::new(BaseGraph::line_with_replicated_ends(width), width)
+}
+
+/// A grid with independently chosen width and depth.
+pub fn grid(width: usize, layers: usize) -> LayeredGraph {
+    LayeredGraph::new(BaseGraph::line_with_replicated_ends(width), layers)
+}
+
+/// Runs Gradient TRIX on `g` with a random in-model environment and the
+/// Appendix-A layer-0 line, under the given send model.
+///
+/// Returns the trace together with the environment (so condition oracles
+/// can replay decisions).
+pub fn run_gradient_trix(
+    g: &LayeredGraph,
+    params: &Params,
+    rule: &GradientTrixRule,
+    sends: &impl SendModel,
+    pulses: usize,
+    seed: u64,
+) -> (PulseTrace, StaticEnvironment) {
+    let root = Rng::seed_from(seed);
+    let mut env_rng = root.fork(1);
+    let mut layer0_rng = root.fork(2);
+    let env = StaticEnvironment::random(g, params.d(), params.u(), params.theta(), &mut env_rng);
+    let layer0 = Layer0Line::random_for_line(params, g.width(), &mut layer0_rng);
+    let trace = run_dataflow(g, &env, &layer0, rule, sends, pulses);
+    (trace, env)
+}
+
+/// Runs Gradient TRIX under an explicit environment (adversarial setups).
+pub fn run_gradient_trix_with_env(
+    g: &LayeredGraph,
+    params: &Params,
+    rule: &GradientTrixRule,
+    env: &StaticEnvironment,
+    sends: &impl SendModel,
+    pulses: usize,
+    seed: u64,
+) -> PulseTrace {
+    let mut layer0_rng = Rng::seed_from(seed).fork(2);
+    let layer0 = Layer0Line::random_for_line(params, g.width(), &mut layer0_rng);
+    run_dataflow(g, env, &layer0, rule, sends, pulses)
+}
+
+/// The adversarial "split" delay assignment (Figure 1 left): all in-edges
+/// of columns `v < split` get `d − u`, the rest `d`; perfect clocks.
+///
+/// Under the naive second-copy rule this tilts the wavefront by `u` per
+/// layer at the split boundary.
+pub fn split_delay_env(g: &LayeredGraph, params: &Params, split: usize) -> StaticEnvironment {
+    let d = params.d();
+    let u = params.u();
+    StaticEnvironment::from_fn(
+        g,
+        |_e| d, // overwritten below for fast columns
+        |_n| trix_time::AffineClock::PERFECT,
+    )
+    .tap_set_fast_half(g, d - u, split)
+}
+
+/// Extension helper for [`split_delay_env`].
+trait TapSetFastHalf {
+    fn tap_set_fast_half(
+        self,
+        g: &LayeredGraph,
+        fast: Duration,
+        split: usize,
+    ) -> StaticEnvironment;
+}
+
+impl TapSetFastHalf for StaticEnvironment {
+    fn tap_set_fast_half(
+        mut self,
+        g: &LayeredGraph,
+        fast: Duration,
+        split: usize,
+    ) -> StaticEnvironment {
+        for n in g.nodes().filter(|n| n.layer > 0) {
+            if (n.v as usize) < split {
+                for (_, e) in g.predecessors(n) {
+                    self.set_delay(e, fast);
+                }
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trix_sim::{CorrectSends, Environment};
+
+    #[test]
+    fn standard_params_support_large_diameters() {
+        let p = standard_params();
+        assert!(p.supports_skew(p.fault_free_local_skew_bound(1 << 12)));
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let p = standard_params();
+        let g = square_grid(8);
+        let rule = GradientTrixRule::new(p);
+        let (a, _) = run_gradient_trix(&g, &p, &rule, &CorrectSends, 3, 42);
+        let (b, _) = run_gradient_trix(&g, &p, &rule, &CorrectSends, 3, 42);
+        for n in g.nodes() {
+            assert_eq!(a.time(2, n), b.time(2, n));
+        }
+    }
+
+    #[test]
+    fn split_env_sets_delays() {
+        let p = standard_params();
+        let g = grid(6, 4);
+        let env = split_delay_env(&g, &p, 4);
+        let n_fast = g.node(1, 2);
+        let n_slow = g.node(6, 2);
+        let (_, e_fast) = g.predecessors(n_fast).next().unwrap();
+        let (_, e_slow) = g.predecessors(n_slow).next().unwrap();
+        assert_eq!(env.delay(0, e_fast), p.d() - p.u());
+        assert_eq!(env.delay(0, e_slow), p.d());
+    }
+}

@@ -1,0 +1,158 @@
+//! Experiment library reproducing **every table and figure** of the
+//! Gradient TRIX paper, plus the theorem-level claims its evaluation rests
+//! on. Each module documents the claim it checks, the workload, and the
+//! modules involved; `DESIGN.md` holds the master index and
+//! `EXPERIMENTS.md` the paper-vs-measured record.
+//!
+//! Run everything with the harness binary:
+//!
+//! ```text
+//! cargo run --release -p trix-bench --bin gradient-trix-experiments
+//! ```
+//!
+//! or benchmark the underlying workloads with `cargo bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod exp_adversary;
+pub mod exp_cor423;
+pub mod exp_ext_f2;
+pub mod exp_fig1;
+pub mod exp_fig23;
+pub mod exp_fig4;
+pub mod exp_fig5;
+pub mod exp_kappa_sweep;
+pub mod exp_lem_a1;
+pub mod exp_lynch_welch;
+pub mod exp_missing_policy;
+pub mod exp_recovery;
+pub mod exp_table1;
+pub mod exp_thm11;
+pub mod exp_thm12;
+pub mod exp_thm13;
+pub mod exp_thm14;
+pub mod exp_thm16;
+
+use trix_analysis::Table;
+
+/// Scale of an experiment run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes for CI / benches (seconds).
+    Quick,
+    /// Paper-scale sizes for the harness (a few minutes).
+    Full,
+}
+
+/// Runs every experiment and returns the tables in presentation order.
+pub fn run_all(scale: Scale) -> Vec<Table> {
+    let quick = scale == Scale::Quick;
+    let seeds: Vec<u64> = if quick { vec![0, 1] } else { vec![0, 1, 2, 3] };
+    let mut tables = Vec::new();
+
+    // §1 Table 1.
+    tables.push(exp_table1::run(if quick {
+        &[8, 16]
+    } else {
+        &[8, 16, 32, 64]
+    }));
+    // §2 Figure 1.
+    tables.push(exp_fig1::run_skew_by_layer(if quick { 12 } else { 48 }));
+    tables.push(exp_fig1::run_hex_crash(
+        if quick { 8 } else { 16 },
+        if quick { 6 } else { 12 },
+    ));
+    // §3 Figures 2/3.
+    tables.push(exp_fig23::run(&[8, 16, 32]));
+    // §4 Figure 4.
+    tables.push(exp_fig4::run(if quick { 10 } else { 24 }, 3, &seeds));
+    // §5 Figure 5.
+    tables.push(exp_fig5::run(
+        if quick { 8 } else { 16 },
+        if quick { 16 } else { 48 },
+        &[1.5, 1.0, 0.5, 0.0, -0.5],
+    ));
+    // §6 Theorem 1.1.
+    tables.push(exp_thm11::run(
+        if quick { &[8, 16] } else { &[8, 16, 32, 64, 128] },
+        3,
+        &seeds,
+    ));
+    // §7 Theorem 1.2.
+    tables.push(exp_thm12::run(if quick { 12 } else { 32 }, 4, 2, &seeds));
+    // §8 Theorem 1.3.
+    tables.push(exp_thm13::run(
+        if quick { &[16] } else { &[16, 32, 64] },
+        0.4,
+        3,
+        &seeds,
+    ));
+    // §9 Theorem 1.4 / Corollary 1.5.
+    tables.push(exp_thm14::run(
+        if quick { 12 } else { 32 },
+        if quick { 4 } else { 8 },
+        &seeds,
+    ));
+    // §10 Theorem 1.6.
+    tables.push(exp_thm16::run(
+        if quick { &[4] } else { &[4, 6, 8] },
+        &seeds[..2.min(seeds.len())],
+    ));
+    tables.push(exp_thm16::run_layer0(if quick { 8 } else { 32 }, &seeds));
+    // §11 Lemma A.1.
+    tables.push(exp_lem_a1::run(&[16, 64, 256], &seeds));
+    // §12 Corollaries 4.23/4.24.
+    tables.push(exp_cor423::run(if quick { 12 } else { 32 }, 3, &seeds));
+    // §13 Missing-neighbor policy ablation.
+    tables.push(exp_missing_policy::run(
+        if quick { 10 } else { 16 },
+        4,
+        3,
+        &seeds,
+    ));
+    // §14 κ sensitivity ablation.
+    tables.push(exp_kappa_sweep::run(if quick { 10 } else { 24 }, &seeds));
+    // §15 Extension: f-local faults at in-degree 2f+1 (open question 3).
+    tables.push(exp_ext_f2::run(
+        if quick { 12 } else { 24 },
+        if quick { 8 } else { 16 },
+        &seeds,
+    ));
+    // §16 Table 1's complete-graph rows: Lynch–Welch.
+    tables.push(exp_lynch_welch::run(
+        if quick { 7 } else { 10 },
+        if quick { 2 } else { 3 },
+        if quick { 6 } else { 10 },
+        &seeds,
+    ));
+    // §17 Thm 4.26 gradient recovery after a disturbance.
+    tables.push(exp_recovery::run(
+        if quick { 10 } else { 16 },
+        if quick { 16 } else { 48 },
+        20.0,
+    ));
+    // §18 Adversarial delay search.
+    tables.push(exp_adversary::run(
+        if quick { 8 } else { 16 },
+        if quick { 20 } else { 150 },
+        &seeds[..2.min(seeds.len())],
+    ));
+
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_all_tables() {
+        let tables = run_all(Scale::Quick);
+        assert_eq!(tables.len(), 20);
+        for t in &tables {
+            assert!(!t.is_empty(), "empty table: {}", t.to_markdown());
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Fault-tolerant layer 0 via a redundant chain (paper Appendix A,
+//! footnote 5: "Tolerating one local fault is also straightforward by
+//! using a redundant path").
+//!
+//! Two parallel Algorithm-2 chains carry the source pulses; every layer-0
+//! node listens to its predecessor on *both* chains and forwards
+//! `Λ − d` local time after the **first** copy of each pulse, suppressing
+//! the second copy (any reception within half a period of the previous
+//! trigger). A crashed node on one chain then leaves the other chain
+//! driving everything downstream, at the cost of up to `u + κ/2` extra
+//! offset jitter per hop — asymptotically nothing.
+
+use crate::Params;
+use trix_sim::{Node, NodeApi};
+use trix_time::{Duration, LocalTime};
+
+/// Layer-0 forwarder with a redundant predecessor (footnote 5).
+///
+/// Fires on the first copy of each pulse from either predecessor;
+/// receptions within `suppress` local time of the previous trigger are
+/// treated as the duplicate copy and ignored.
+#[derive(Clone, Debug)]
+pub struct DualLineForwarderNode {
+    pred_a: usize,
+    pred_b: usize,
+    wait: Duration,
+    suppress: Duration,
+    last_trigger: Option<LocalTime>,
+    generation: u64,
+}
+
+impl DualLineForwarderNode {
+    /// Creates a forwarder listening to engine nodes `pred_a` and
+    /// `pred_b` (the same chain position on the two redundant chains).
+    pub fn new(params: &Params, pred_a: usize, pred_b: usize) -> Self {
+        Self {
+            pred_a,
+            pred_b,
+            wait: params.lambda() - params.d(),
+            // Anything within half a period is the duplicate copy.
+            suppress: params.lambda() / 2.0,
+            last_trigger: None,
+            generation: 0,
+        }
+    }
+}
+
+impl Node for DualLineForwarderNode {
+    fn on_start(&mut self, _api: &mut NodeApi<'_>) {}
+
+    fn on_pulse(&mut self, from: usize, api: &mut NodeApi<'_>) {
+        if from != self.pred_a && from != self.pred_b {
+            return;
+        }
+        let now = api.local_now();
+        if let Some(last) = self.last_trigger {
+            if now - last < self.suppress {
+                return; // duplicate copy of the same pulse
+            }
+        }
+        self.last_trigger = Some(now);
+        self.generation += 1;
+        api.set_timer_local(now + self.wait, self.generation);
+    }
+
+    fn on_timer(&mut self, tag: u64, api: &mut NodeApi<'_>) {
+        if tag == self.generation {
+            api.broadcast();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClockSourceNode;
+    use trix_sim::{Des, Link, Rng};
+    use trix_time::{AffineClock, Time};
+
+    fn params() -> Params {
+        Params::with_standard_lambda(Duration::from(2000.0), Duration::from(1.0), 1.0001)
+    }
+
+    /// Builds two redundant chains of length `len` feeding dual
+    /// forwarders; `dead` positions on chain A are silent.
+    ///
+    /// Engine layout: 0 = source; 1..=len = chain A; len+1..=2len =
+    /// chain B; 2len+1..=3len = dual forwarders (the actual layer-0
+    /// output nodes).
+    fn build(len: usize, dead_a: &[usize], seed: u64) -> (Des, Vec<Box<dyn Node>>) {
+        let p = params();
+        let mut rng = Rng::seed_from(seed);
+        let n = 1 + 3 * len;
+        let mut clocks = vec![AffineClock::PERFECT.into()];
+        for _ in 1..n {
+            clocks.push(AffineClock::with_rate(rng.f64_in(1.0, p.theta())).into());
+        }
+        let mut des = Des::new(clocks);
+        let delay =
+            |rng: &mut Rng| Duration::from(rng.f64_in(p.d_min().as_f64(), p.d().as_f64()));
+        let chain_a = |i: usize| 1 + i;
+        let chain_b = |i: usize| 1 + len + i;
+        let dual = |i: usize| 1 + 2 * len + i;
+        for i in 0..len {
+            let from_a = if i == 0 { 0 } else { chain_a(i - 1) };
+            let from_b = if i == 0 { 0 } else { chain_b(i - 1) };
+            des.add_link(from_a, Link { to: chain_a(i), delay: delay(&mut rng) });
+            des.add_link(from_b, Link { to: chain_b(i), delay: delay(&mut rng) });
+            // Both chains feed the dual forwarder at this position.
+            des.add_link(chain_a(i), Link { to: dual(i), delay: delay(&mut rng) });
+            des.add_link(chain_b(i), Link { to: dual(i), delay: delay(&mut rng) });
+        }
+        let mut nodes: Vec<Box<dyn Node>> = Vec::with_capacity(n);
+        nodes.push(Box::new(ClockSourceNode::new(p.lambda(), 8)));
+        for i in 0..len {
+            if dead_a.contains(&i) {
+                // Crashed chain-A node.
+                struct Dead;
+                impl Node for Dead {
+                    fn on_start(&mut self, _api: &mut NodeApi<'_>) {}
+                    fn on_pulse(&mut self, _from: usize, _api: &mut NodeApi<'_>) {}
+                    fn on_timer(&mut self, _tag: u64, _api: &mut NodeApi<'_>) {}
+                }
+                nodes.push(Box::new(Dead));
+            } else {
+                nodes.push(Box::new(crate::LineForwarderNode::new(
+                    &p,
+                    if i == 0 { 0 } else { chain_a(i - 1) },
+                )));
+            }
+        }
+        for i in 0..len {
+            nodes.push(Box::new(crate::LineForwarderNode::new(
+                &p,
+                if i == 0 { 0 } else { chain_b(i - 1) },
+            )));
+        }
+        for i in 0..len {
+            nodes.push(Box::new(DualLineForwarderNode::new(
+                &p,
+                chain_a(i),
+                chain_b(i),
+            )));
+        }
+        (des, nodes)
+    }
+
+    fn dual_pulse_counts(des: &Des, len: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; len];
+        for b in des.broadcasts() {
+            if b.node > 2 * len {
+                counts[b.node - 1 - 2 * len] += 1;
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn healthy_dual_chain_forwards_every_pulse_once() {
+        let len = 6;
+        let (mut des, mut nodes) = build(len, &[], 3);
+        des.run(&mut nodes, Time::from(1e9));
+        let counts = dual_pulse_counts(&des, len);
+        // 8 source pulses, each forwarded exactly once per dual node (the
+        // duplicate copy suppressed).
+        assert_eq!(counts, vec![8; len]);
+    }
+
+    #[test]
+    fn crashed_chain_a_node_is_masked() {
+        let len = 6;
+        // Kill chain A at position 2: positions 2.. on chain A are dark,
+        // but chain B keeps every dual forwarder fed.
+        let (mut des, mut nodes) = build(len, &[2], 3);
+        des.run(&mut nodes, Time::from(1e9));
+        let counts = dual_pulse_counts(&des, len);
+        assert_eq!(counts, vec![8; len], "one dead chain node must be masked");
+    }
+
+    #[test]
+    fn dual_outputs_remain_periodic_with_fault() {
+        let p = params();
+        let len = 6;
+        let (mut des, mut nodes) = build(len, &[1], 9);
+        des.run(&mut nodes, Time::from(1e9));
+        let lambda = p.lambda().as_f64();
+        for i in 0..len {
+            let times: Vec<f64> = des
+                .broadcasts()
+                .iter()
+                .filter(|b| b.node == 1 + 2 * len + i)
+                .map(|b| b.time.as_f64())
+                .collect();
+            for w in times.windows(2) {
+                assert!(
+                    (w[1] - w[0] - lambda).abs() < p.kappa().as_f64(),
+                    "dual node {i}: gap {}",
+                    w[1] - w[0]
+                );
+            }
+        }
+    }
+}

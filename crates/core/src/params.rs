@@ -1,0 +1,223 @@
+//! Algorithm parameters (paper §3, Equations (1)–(3)).
+
+use trix_time::Duration;
+
+/// The timing parameters of a Gradient TRIX deployment.
+///
+/// * `d` — maximum end-to-end message delay (includes computation);
+/// * `u` — delay uncertainty: actual delays lie in `[d−u, d]`;
+/// * `ϑ` (`theta`) — hardware clock drift bound: rates lie in `[1, ϑ]`;
+/// * `Λ` (`lambda`) — nominal time a pulse spends per layer (the clock
+///   source period);
+/// * `κ` (`kappa`) — the algorithm's skew quantum, fixed by Equation (1):
+///   `κ = 2(u + (1 − 1/ϑ)(Λ − d))`.
+///
+/// Equation (2) requires `Λ ≥ Cϑ(sup L_ℓ + u) + d` and Equation (3)
+/// requires `d ≥ C(ϑ(sup L_ℓ + u) + κ)` for a sufficiently large constant
+/// `C`; both say "the skew bound must be small compared to `d`".
+/// [`Params::supports_skew`] checks the concrete instances of these
+/// inequalities that the proofs use.
+///
+/// # Examples
+///
+/// ```
+/// use trix_core::Params;
+/// use trix_time::Duration;
+///
+/// let p = Params::with_standard_lambda(
+///     Duration::from(2000.0), // d
+///     Duration::from(1.0),    // u
+///     1.0001,                 // theta
+/// );
+/// assert!(p.kappa() > Duration::ZERO);
+/// assert_eq!(p.lambda(), Duration::from(4000.0));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Params {
+    d: Duration,
+    u: Duration,
+    theta: f64,
+    lambda: Duration,
+    kappa: Duration,
+}
+
+impl Params {
+    /// Creates parameters with an explicit `Λ`, computing `κ` from
+    /// Equation (1).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ u < d`, `ϑ ≥ 1`, `Λ > d`, and the resulting
+    /// `κ > 0` (which requires `u > 0` or `ϑ > 1`).
+    pub fn new(d: Duration, u: Duration, theta: f64, lambda: Duration) -> Self {
+        assert!(u >= Duration::ZERO, "u must be non-negative");
+        assert!(u < d, "need u < d (delay window must be positive)");
+        assert!(theta >= 1.0 && theta.is_finite(), "need finite theta >= 1");
+        assert!(lambda > d, "need lambda > d so corrections are realizable");
+        let kappa = 2.0 * (u + (1.0 - 1.0 / theta) * (lambda - d));
+        assert!(
+            kappa > Duration::ZERO,
+            "kappa must be positive; need u > 0 or theta > 1"
+        );
+        Self {
+            d,
+            u,
+            theta,
+            lambda,
+            kappa,
+        }
+    }
+
+    /// The paper's recommended choice `Λ = 2d` (input clock frequency
+    /// `1/(2d)`), giving `κ ∈ Θ(u + (ϑ−1)d)`.
+    pub fn with_standard_lambda(d: Duration, u: Duration, theta: f64) -> Self {
+        Self::new(d, u, theta, d * 2.0)
+    }
+
+    /// Maximum end-to-end delay `d`.
+    #[inline]
+    pub fn d(&self) -> Duration {
+        self.d
+    }
+
+    /// Delay uncertainty `u`.
+    #[inline]
+    pub fn u(&self) -> Duration {
+        self.u
+    }
+
+    /// Minimum end-to-end delay `d − u`.
+    #[inline]
+    pub fn d_min(&self) -> Duration {
+        self.d - self.u
+    }
+
+    /// Clock drift bound `ϑ`.
+    #[inline]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Nominal per-layer latency `Λ`.
+    #[inline]
+    pub fn lambda(&self) -> Duration {
+        self.lambda
+    }
+
+    /// The skew quantum `κ` of Equation (1).
+    #[inline]
+    pub fn kappa(&self) -> Duration {
+        self.kappa
+    }
+
+    /// `ϑ·κ`, the upper clamp of the correction range.
+    #[inline]
+    pub fn theta_kappa(&self) -> Duration {
+        self.kappa * self.theta
+    }
+
+    /// Theorem 1.1's fault-free local-skew bound `4κ(2 + log₂ D)`.
+    pub fn fault_free_local_skew_bound(&self, diameter: u32) -> Duration {
+        self.kappa * 4.0 * (2.0 + (diameter.max(1) as f64).log2())
+    }
+
+    /// Checks the concrete forms of Equations (2) and (3) used by the
+    /// proofs for a given bound `skew ≥ sup_ℓ L_ℓ`:
+    ///
+    /// * Lemma B.1 needs `Λ − d ≥ ϑ(2·skew + u) + 3κ/2` so that every
+    ///   correct node's pulses are received within the right loop
+    ///   iteration;
+    /// * Equation (3) needs `d` itself to dominate the same expression so
+    ///   that skew bounds remain meaningful against the propagation delay.
+    pub fn supports_skew(&self, skew: Duration) -> bool {
+        let need = self.theta * (2.0 * skew + self.u) + 1.5 * self.kappa;
+        self.lambda - self.d >= need && self.d >= need
+    }
+
+    /// The largest skew bound this parameter set supports per
+    /// [`Params::supports_skew`] (useful for reporting headroom).
+    pub fn max_supported_skew(&self) -> Duration {
+        let budget = (self.lambda - self.d).min(self.d) - self.kappa * 1.5;
+        ((budget / self.theta) - self.u) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Params {
+        Params::with_standard_lambda(Duration::from(2000.0), Duration::from(1.0), 1.0001)
+    }
+
+    #[test]
+    fn kappa_matches_equation_1() {
+        let p = p();
+        let expected = 2.0 * (1.0 + (1.0 - 1.0 / 1.0001) * 2000.0);
+        assert!((p.kappa().as_f64() - expected).abs() < 1e-9);
+        assert!(p.kappa().as_f64() > 2.0 && p.kappa().as_f64() < 3.0);
+    }
+
+    #[test]
+    fn standard_lambda_is_2d() {
+        assert_eq!(p().lambda(), Duration::from(4000.0));
+        assert_eq!(p().d_min(), Duration::from(1999.0));
+    }
+
+    #[test]
+    fn fault_free_bound_is_logarithmic() {
+        let p = p();
+        let b16 = p.fault_free_local_skew_bound(16);
+        let b256 = p.fault_free_local_skew_bound(256);
+        // log2(256)/log2(16) scales (2+8)/(2+4) = 10/6.
+        assert!((b256 / b16 - 10.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supports_reasonable_skew() {
+        let p = p();
+        let bound = p.fault_free_local_skew_bound(1024);
+        assert!(
+            p.supports_skew(bound),
+            "standard params must support the Thm 1.1 bound at D=1024: bound={bound}, max={}",
+            p.max_supported_skew()
+        );
+        assert!(!p.supports_skew(Duration::from(5000.0)));
+    }
+
+    #[test]
+    fn max_supported_skew_is_consistent() {
+        let p = p();
+        let m = p.max_supported_skew();
+        assert!(p.supports_skew(m * 0.999));
+        assert!(!p.supports_skew(m * 1.001));
+    }
+
+    #[test]
+    #[should_panic(expected = "u < d")]
+    fn rejects_u_ge_d() {
+        let _ = Params::with_standard_lambda(Duration::from(1.0), Duration::from(1.0), 1.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda > d")]
+    fn rejects_small_lambda() {
+        let _ = Params::new(
+            Duration::from(10.0),
+            Duration::from(1.0),
+            1.01,
+            Duration::from(10.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa must be positive")]
+    fn rejects_degenerate_kappa() {
+        let _ = Params::new(
+            Duration::from(10.0),
+            Duration::from(0.0),
+            1.0,
+            Duration::from(20.0),
+        );
+    }
+}

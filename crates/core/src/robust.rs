@@ -1,0 +1,284 @@
+//! Exploratory prototype for the paper's open question (3): resilience to
+//! `f` local faults at in-degree `2f + 1`.
+//!
+//! The paper establishes `f = 1` at in-degree 3 and remarks that "this may
+//! open up the way towards a general scheme achieving resilience to `f`
+//! local faults with in-degree `2f + 1`". This module implements the
+//! natural generalization and lets experiments probe it:
+//!
+//! * topology: the `f`-th power of a cycle
+//!   ([`trix_topology::BaseGraph::cycle_power`]) gives every layered node
+//!   `2f` neighbor predecessors plus its own copy — in-degree `2f + 1`;
+//! * rule: replace `H_min`/`H_max` by the **`f`-th order statistics** of
+//!   the neighbor reception times (`f`-th smallest and `f`-th largest; for
+//!   `f = 1` these are the plain min/max, so the rule reduces exactly to
+//!   Gradient TRIX) and keep the same correction formula and clamps.
+//!
+//! Intuition: with at most `f` faulty predecessors and `2f` neighbors, a
+//! coalition can fully corrupt at most one of the two trimmed extremes
+//! (all `f` faults must sit on the same side to push an `f`-th order
+//! statistic past the correct values), and the correction's clamp
+//! structure ties the pulse to whichever side remains honest — the same
+//! one-sided-corruption argument the paper makes for `f = 1`.
+//!
+//! This is a *prototype for experimentation*, not a proven scheme: the
+//! paper leaves the question open, and the `ext_f2` experiment reports how
+//! the measured skew behaves under `f = 2` fault neighborhoods.
+
+use crate::{correction, CorrectionConfig, Params};
+use trix_sim::PulseRule;
+use trix_time::{AffineClock, Clock, Duration, LocalTime, Time};
+use trix_topology::NodeId;
+
+/// The rank-statistic generalization of the Gradient TRIX rule for
+/// `f`-fault neighborhoods (requires ≥ `2f` neighbor predecessors).
+///
+/// For `f = 1` this is behaviorally identical to
+/// [`SimplifiedRule`](crate::SimplifiedRule) on complete receptions; the
+/// missing-message deadline machinery of Algorithm 3 is approximated by a
+/// per-iteration timeout after the `(2f − f)`-th arrival.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RobustRule {
+    params: Params,
+    config: CorrectionConfig,
+    f: usize,
+    skew_estimate: Duration,
+}
+
+impl RobustRule {
+    /// Creates the rule for tolerance `f ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f == 0`.
+    pub fn new(params: Params, f: usize) -> Self {
+        assert!(f >= 1, "tolerance must be at least 1");
+        Self {
+            params,
+            config: CorrectionConfig::paper(),
+            f,
+            skew_estimate: params.max_supported_skew() / 2.0,
+        }
+    }
+
+    /// The configured tolerance `f`.
+    pub fn tolerance(&self) -> usize {
+        self.f
+    }
+
+    /// Computes the local pulse time from local reception times.
+    ///
+    /// `own` is `None` if the own-predecessor pulse is missing; neighbor
+    /// entries are `None` for messages that never arrive. Requires at
+    /// least `f` heard neighbors so the `f`-th order statistics exist
+    /// (guaranteed with ≥ `2f` neighbors and ≤ `f` faults); returns
+    /// `None` otherwise (starved).
+    pub fn pulse_local(
+        &self,
+        own: Option<LocalTime>,
+        neighbors: &[Option<LocalTime>],
+    ) -> Option<LocalTime> {
+        let mut heard: Vec<LocalTime> = neighbors.iter().flatten().copied().collect();
+        if heard.len() < self.f {
+            return None;
+        }
+        heard.sort();
+        // f-th order statistics (1-indexed): for f = 1 the plain extremes.
+        let robust_min = heard[self.f - 1];
+        let robust_max = heard[heard.len() - self.f];
+        let (h_min, h_max) = if robust_min <= robust_max {
+            (robust_min, robust_max)
+        } else {
+            // With f faults on one side the trimmed window can invert;
+            // fall back to the median as a degenerate window.
+            let med = heard[heard.len() / 2];
+            (med, med)
+        };
+        let p = &self.params;
+        let lmd = p.lambda() - p.d();
+        match own {
+            Some(h_own) => {
+                let c = correction(p, h_own, h_min, Some(h_max), &self.config);
+                Some(h_own + lmd - c)
+            }
+            // Own missing: fire off the robust max, as Algorithm 3 does
+            // off H_max.
+            None => Some(h_max + p.kappa() * 1.5 + lmd),
+        }
+    }
+
+    /// Which receptions count as "arrived in time": everything within the
+    /// deadline window `first heard + ϑ(2·L̂ + u) + 2κ`.
+    fn apply_deadline(&self, locals: &mut [Option<LocalTime>]) {
+        let Some(first) = locals.iter().flatten().min().copied() else {
+            return;
+        };
+        let p = &self.params;
+        let window = (2.0 * self.skew_estimate + p.u()) * p.theta() + p.kappa() * 2.0;
+        let cutoff = first + window;
+        for slot in locals.iter_mut() {
+            if let Some(h) = *slot {
+                if h > cutoff {
+                    *slot = None;
+                }
+            }
+        }
+    }
+}
+
+impl PulseRule for RobustRule {
+    fn pulse_time(
+        &self,
+        _node: NodeId,
+        _k: usize,
+        own: Option<Time>,
+        neighbors: &[Option<Time>],
+        clock: &AffineClock,
+    ) -> Option<Time> {
+        let mut own_local = own.map(|t| clock.local_at(t));
+        let mut neighbor_locals: Vec<Option<LocalTime>> = neighbors
+            .iter()
+            .map(|t| t.map(|t| clock.local_at(t)))
+            .collect();
+        // Late messages (beyond the deadline window after the first
+        // arrival) are treated as missing, like Algorithm 3's receive-loop
+        // exit.
+        let mut all: Vec<Option<LocalTime>> = neighbor_locals.clone();
+        all.push(own_local);
+        self.apply_deadline(&mut all);
+        own_local = all.pop().expect("own slot present");
+        neighbor_locals.copy_from_slice(&all);
+        let pulse = self.pulse_local(own_local, &neighbor_locals)?;
+        Some(clock.real_at(pulse))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimplifiedRule;
+
+    fn params() -> Params {
+        Params::with_standard_lambda(Duration::from(2000.0), Duration::from(1.0), 1.0001)
+    }
+
+    fn lt(x: f64) -> LocalTime {
+        LocalTime::from(x)
+    }
+
+    #[test]
+    fn f1_reduces_to_simplified_rule() {
+        let p = params();
+        let robust = RobustRule::new(p, 1);
+        let simplified = SimplifiedRule::new(p);
+        for (own, n1, n2) in [
+            (100.0, 99.0, 101.0),
+            (100.0, 100.0, 100.0),
+            (95.0, 105.0, 103.0),
+            (110.0, 100.0, 101.5),
+        ] {
+            let a = robust
+                .pulse_local(Some(lt(own)), &[Some(lt(n1)), Some(lt(n2))])
+                .unwrap();
+            let b = simplified.pulse_local(lt(own), &[lt(n1), lt(n2)]);
+            assert_eq!(a, b, "own={own} n=({n1},{n2})");
+        }
+    }
+
+    #[test]
+    fn f2_contains_one_outlier_per_side() {
+        // Two Byzantine extremes (one per side) among four neighbors: the
+        // trimmed window stays inside the correct values' span, so the
+        // pulse lands in the correct interval ± 2κ.
+        let p = params();
+        let rule = RobustRule::new(p, 2);
+        let pulse = rule
+            .pulse_local(
+                Some(lt(100.0)),
+                &[
+                    Some(lt(99.0)),
+                    Some(lt(101.0)),
+                    Some(lt(-1e6)),
+                    Some(lt(1e6)),
+                ],
+            )
+            .unwrap();
+        let lmd = p.lambda() - p.d();
+        let lo = lt(99.0) + lmd - p.kappa() * 2.0;
+        let hi = lt(101.0) + lmd + p.kappa() * 2.0;
+        assert!(pulse >= lo && pulse <= hi, "pulse {pulse:?} escaped [{lo:?}, {hi:?}]");
+    }
+
+    #[test]
+    fn starved_below_f_neighbors() {
+        let p = params();
+        let rule = RobustRule::new(p, 2);
+        // f = 2 heard neighbors: order statistics exist (median fallback).
+        assert!(rule
+            .pulse_local(Some(lt(0.0)), &[Some(lt(0.0)), Some(lt(0.0)), None, None])
+            .is_some());
+        // Only one heard: starved.
+        assert!(rule
+            .pulse_local(Some(lt(0.0)), &[Some(lt(0.0)), None, None, None])
+            .is_none());
+    }
+
+    #[test]
+    fn own_missing_fires_off_robust_max() {
+        let p = params();
+        let rule = RobustRule::new(p, 2);
+        let pulse = rule
+            .pulse_local(
+                None,
+                &[
+                    Some(lt(100.0)),
+                    Some(lt(101.0)),
+                    Some(lt(102.0)),
+                    Some(lt(1e9)), // faulty-late, trimmed by order statistic
+                ],
+            )
+            .unwrap();
+        let expected = lt(102.0) + p.kappa() * 1.5 + (p.lambda() - p.d());
+        assert_eq!(pulse, expected);
+    }
+
+    #[test]
+    fn inverted_window_falls_back_to_median() {
+        let p = params();
+        let rule = RobustRule::new(p, 2);
+        // Two heard neighbors only: 2nd smallest > 2nd largest.
+        let pulse = rule.pulse_local(
+            Some(lt(100.0)),
+            &[Some(lt(90.0)), Some(lt(110.0)), None, None],
+        );
+        assert!(pulse.is_some());
+    }
+
+    #[test]
+    fn deadline_drops_very_late_messages() {
+        use trix_sim::PulseRule as _;
+        let p = params();
+        let rule = RobustRule::new(p, 2);
+        let clock = AffineClock::PERFECT;
+        let t = |x: f64| Some(Time::from(x));
+        let with_late = rule
+            .pulse_time(
+                NodeId::new(0, 1),
+                0,
+                t(100.0),
+                &[t(100.0), t(101.0), t(102.0), t(1e7)],
+                &clock,
+            )
+            .unwrap();
+        let without = rule
+            .pulse_time(
+                NodeId::new(0, 1),
+                0,
+                t(100.0),
+                &[t(100.0), t(101.0), t(102.0), None],
+                &clock,
+            )
+            .unwrap();
+        assert_eq!(with_late, without);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the decision procedure beyond the root-level suite:
+//! discretization quality, robust-rule reduction, and decision
+//! monotonicity.
+
+use proptest::prelude::*;
+use trix_core::{discrete_delta, GradientTrixRule, Params, RobustRule, SimplifiedRule};
+use trix_time::{Duration, LocalTime};
+
+fn params() -> Params {
+    Params::with_standard_lambda(Duration::from(2000.0), Duration::from(1.0), 1.0001)
+}
+
+proptest! {
+    /// The discretized Δ stays within 2κ of the continuous optimum
+    /// `(a + b)/2` when that optimum is non-negative (the regime the
+    /// algorithm's greedy strategy targets).
+    #[test]
+    fn discrete_delta_close_to_continuous(
+        a in -200.0f64..200.0,
+        gap in 0.0f64..200.0,
+        kappa in 0.5f64..5.0,
+    ) {
+        let a_d = Duration::from(a);
+        let b_d = Duration::from(a + gap);
+        let k = Duration::from(kappa);
+        let delta = discrete_delta(a_d, b_d, k);
+        // Continuous optimum of max(a + x, b − x) over x ≥ 0 is
+        // (a+b)/2 when b ≥ −... restrict to the crossing-at-positive case.
+        let cont = (2.0 * a + gap) / 2.0;
+        if cont >= 0.0 {
+            prop_assert!((delta.as_f64() - (cont - kappa / 2.0)).abs() <= 2.0 * kappa,
+                "delta {} vs continuous {}", delta.as_f64(), cont);
+        }
+    }
+
+    /// RobustRule with f = 1 agrees with the simplified rule on complete
+    /// receptions (it is a strict generalization).
+    #[test]
+    fn robust_f1_equals_simplified(
+        own in -50.0f64..50.0,
+        n1 in -50.0f64..50.0,
+        n2 in -50.0f64..50.0,
+    ) {
+        let p = params();
+        let robust = RobustRule::new(p, 1);
+        let simplified = SimplifiedRule::new(p);
+        let a = robust
+            .pulse_local(
+                Some(LocalTime::from(own)),
+                &[Some(LocalTime::from(n1)), Some(LocalTime::from(n2))],
+            )
+            .unwrap();
+        let b = simplified.pulse_local(
+            LocalTime::from(own),
+            &[LocalTime::from(n1), LocalTime::from(n2)],
+        );
+        prop_assert_eq!(a, b);
+    }
+
+    /// Monotonicity: delaying every reception by the same amount delays
+    /// the pulse by exactly that amount (time-invariance of the decision).
+    #[test]
+    fn decision_is_time_invariant(
+        own in -50.0f64..50.0,
+        n1 in -50.0f64..50.0,
+        n2 in -50.0f64..50.0,
+        shift in -1e4f64..1e4,
+    ) {
+        let p = params();
+        let rule = GradientTrixRule::new(p);
+        let d1 = rule
+            .decide(
+                Some(LocalTime::from(own)),
+                &[Some(LocalTime::from(n1)), Some(LocalTime::from(n2))],
+            )
+            .unwrap();
+        let d2 = rule
+            .decide(
+                Some(LocalTime::from(own + shift)),
+                &[
+                    Some(LocalTime::from(n1 + shift)),
+                    Some(LocalTime::from(n2 + shift)),
+                ],
+            )
+            .unwrap();
+        let moved = (d2.pulse_local - d1.pulse_local).as_f64();
+        prop_assert!((moved - shift).abs() < 1e-6, "moved {} vs shift {}", moved, shift);
+    }
+
+    /// Monotonicity in the own-reception: receiving your own predecessor
+    /// later never makes you pulse earlier.
+    #[test]
+    fn later_own_never_pulses_earlier(
+        own in -20.0f64..20.0,
+        bump in 0.0f64..5.0,
+        n1 in -20.0f64..20.0,
+        n2 in -20.0f64..20.0,
+    ) {
+        let p = params();
+        let rule = GradientTrixRule::new(p);
+        let neighbors = [Some(LocalTime::from(n1)), Some(LocalTime::from(n2))];
+        let before = rule
+            .decide(Some(LocalTime::from(own)), &neighbors)
+            .unwrap()
+            .pulse_local;
+        let after = rule
+            .decide(Some(LocalTime::from(own + bump)), &neighbors)
+            .unwrap()
+            .pulse_local;
+        prop_assert!(after >= before - Duration::from(1e-9),
+            "own later by {} but pulse moved from {:?} to {:?}", bump, before, after);
+    }
+}

@@ -1,0 +1,207 @@
+//! Byzantine fault behaviors (paper §2 fault model).
+//!
+//! A faulty node "behaves arbitrarily, subject to the constraint that at
+//! most a constant number of faulty nodes change their timing behavior
+//! between consecutive pulses". The behaviors here cover the spectrum the
+//! paper discusses:
+//!
+//! * **static faults** — [`FaultBehavior::Silent`] (stuck-at / crashed
+//!   driver) and [`FaultBehavior::Shift`] (delay fault with a static timing
+//!   profile): "the by far most common faults" (§1, discussion of
+//!   Theorem 1.4);
+//! * **two-faced behavior** — different timing toward different successors
+//!   ([`FaultBehavior::TwoFaced`]), possible because edge faults are mapped
+//!   to node faults;
+//! * **per-pulse variation** — [`FaultBehavior::Jitter`] changes timing
+//!   every pulse (stress beyond Theorem 1.4's assumption, bounded per
+//!   Corollary 1.5), and [`FaultBehavior::ChangeAt`] switches behavior at a
+//!   chosen pulse (exactly Corollary 1.5's "a constant number of faulty
+//!   nodes change their output behavior").
+//!
+//! All behaviors are deterministic: per-pulse pseudo-randomness is derived
+//! by hashing `(seed, node, pulse, target)` with SplitMix64.
+
+use trix_sim::splitmix64;
+use trix_time::{Duration, Time};
+use trix_topology::NodeId;
+
+/// How a faulty node transforms its nominal send times.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultBehavior {
+    /// Sends nothing, ever (crash / stuck-at fault).
+    Silent,
+    /// Static delay fault: every message shifted by a fixed amount
+    /// (positive = late, negative = early). Timing profile is static, so
+    /// Theorem 1.4 applies.
+    Shift(Duration),
+    /// Sends different static shifts to different successors (arbitrarily
+    /// two-faced across its out-edges, constant over time).
+    TwoFaced {
+        /// Shift toward successors with a smaller base index.
+        toward_lower: Duration,
+        /// Shift toward successors with a base index ≥ the faulty node's.
+        toward_higher: Duration,
+    },
+    /// Uniform pseudo-random shift in `[-amplitude, +amplitude]`, freshly
+    /// drawn every pulse and for every target — maximal timing variation.
+    Jitter {
+        /// Maximum absolute shift.
+        amplitude: Duration,
+        /// Determinism seed.
+        seed: u64,
+    },
+    /// Behaves as `before` for pulses `< at_pulse`, then as `after`
+    /// (Corollary 1.5's behavior change).
+    ChangeAt {
+        /// Pulse index at which the behavior switches.
+        at_pulse: usize,
+        /// Behavior before the switch.
+        before: Box<FaultBehavior>,
+        /// Behavior after the switch.
+        after: Box<FaultBehavior>,
+    },
+}
+
+impl FaultBehavior {
+    /// A convenience constructor for a fault that starts out correct and
+    /// turns silent at `at_pulse`.
+    pub fn dies_at(at_pulse: usize) -> Self {
+        FaultBehavior::ChangeAt {
+            at_pulse,
+            before: Box::new(FaultBehavior::Shift(Duration::ZERO)),
+            after: Box::new(FaultBehavior::Silent),
+        }
+    }
+
+    /// The send time toward `target` for pulse `k`, given the nominal
+    /// (correct) broadcast time.
+    pub fn send_time(
+        &self,
+        node: NodeId,
+        k: usize,
+        nominal: Option<Time>,
+        target: NodeId,
+    ) -> Option<Time> {
+        let nominal = nominal?;
+        match self {
+            FaultBehavior::Silent => None,
+            FaultBehavior::Shift(delta) => Some(nominal + *delta),
+            FaultBehavior::TwoFaced {
+                toward_lower,
+                toward_higher,
+            } => {
+                if target.v < node.v {
+                    Some(nominal + *toward_lower)
+                } else {
+                    Some(nominal + *toward_higher)
+                }
+            }
+            FaultBehavior::Jitter { amplitude, seed } => {
+                let mut state = seed
+                    ^ (node.v as u64) << 40
+                    ^ (node.layer as u64) << 20
+                    ^ (k as u64)
+                    ^ (target.v as u64) << 50;
+                let raw = splitmix64(&mut state);
+                let unit = (raw >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+                Some(nominal + *amplitude * (2.0 * unit - 1.0))
+            }
+            FaultBehavior::ChangeAt {
+                at_pulse,
+                before,
+                after,
+            } => {
+                if k < *at_pulse {
+                    before.send_time(node, k, Some(nominal), target)
+                } else {
+                    after.send_time(node, k, Some(nominal), target)
+                }
+            }
+        }
+    }
+
+    /// Whether this behavior's timing profile is static across pulses
+    /// (the Theorem 1.4 assumption).
+    pub fn is_static(&self) -> bool {
+        match self {
+            FaultBehavior::Silent | FaultBehavior::Shift(_) | FaultBehavior::TwoFaced { .. } => {
+                true
+            }
+            FaultBehavior::Jitter { .. } | FaultBehavior::ChangeAt { .. } => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u32, layer: u32) -> NodeId {
+        NodeId::new(v, layer)
+    }
+
+    #[test]
+    fn silent_never_sends() {
+        let b = FaultBehavior::Silent;
+        assert_eq!(b.send_time(n(1, 1), 0, Some(Time::from(5.0)), n(1, 2)), None);
+        assert_eq!(b.send_time(n(1, 1), 3, None, n(1, 2)), None);
+    }
+
+    #[test]
+    fn shift_is_static() {
+        let b = FaultBehavior::Shift(Duration::from(3.0));
+        for k in 0..5 {
+            assert_eq!(
+                b.send_time(n(0, 1), k, Some(Time::from(10.0)), n(0, 2)),
+                Some(Time::from(13.0))
+            );
+        }
+        assert!(b.is_static());
+    }
+
+    #[test]
+    fn two_faced_discriminates_targets() {
+        let b = FaultBehavior::TwoFaced {
+            toward_lower: Duration::from(-2.0),
+            toward_higher: Duration::from(2.0),
+        };
+        let t = Some(Time::from(10.0));
+        assert_eq!(b.send_time(n(3, 1), 0, t, n(2, 2)), Some(Time::from(8.0)));
+        assert_eq!(b.send_time(n(3, 1), 0, t, n(3, 2)), Some(Time::from(12.0)));
+        assert_eq!(b.send_time(n(3, 1), 0, t, n(4, 2)), Some(Time::from(12.0)));
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let b = FaultBehavior::Jitter {
+            amplitude: Duration::from(5.0),
+            seed: 42,
+        };
+        let mut seen_distinct = false;
+        let mut prev = None;
+        for k in 0..20 {
+            let t = b
+                .send_time(n(2, 3), k, Some(Time::from(100.0)), n(2, 4))
+                .unwrap();
+            assert!((t.as_f64() - 100.0).abs() <= 5.0);
+            let again = b
+                .send_time(n(2, 3), k, Some(Time::from(100.0)), n(2, 4))
+                .unwrap();
+            assert_eq!(t, again, "deterministic per (node, k, target)");
+            if prev.is_some() && prev != Some(t) {
+                seen_distinct = true;
+            }
+            prev = Some(t);
+        }
+        assert!(seen_distinct, "jitter must actually vary across pulses");
+    }
+
+    #[test]
+    fn change_at_switches_behavior() {
+        let b = FaultBehavior::dies_at(3);
+        let t = Some(Time::from(1.0));
+        assert_eq!(b.send_time(n(0, 1), 2, t, n(0, 2)), Some(Time::from(1.0)));
+        assert_eq!(b.send_time(n(0, 1), 3, t, n(0, 2)), None);
+        assert!(!b.is_static());
+    }
+}

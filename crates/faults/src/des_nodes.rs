@@ -1,0 +1,200 @@
+//! Faulty node state machines and transient corruption for the
+//! event-driven engine.
+
+use trix_core::{GradientTrixNode, GridNetwork, GridNodeConfig, Params};
+use trix_sim::{Node, NodeApi, Rng, StaticEnvironment};
+use trix_time::{Duration, LocalTime, Time};
+use trix_topology::{LayeredGraph, NodeId};
+
+/// A crashed node: never sends anything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SilentDesNode;
+
+impl Node for SilentDesNode {
+    fn on_start(&mut self, _api: &mut NodeApi<'_>) {}
+    fn on_pulse(&mut self, _from: usize, _api: &mut NodeApi<'_>) {}
+    fn on_timer(&mut self, _tag: u64, _api: &mut NodeApi<'_>) {}
+}
+
+/// A babbling node: broadcasts on its own fixed local period, ignoring all
+/// input. The period need not relate to `Λ`, so downstream nodes see
+/// arbitrarily timed spurious pulses.
+#[derive(Clone, Copy, Debug)]
+pub struct BabblingDesNode {
+    period: Duration,
+    offset: Duration,
+}
+
+impl BabblingDesNode {
+    /// Creates a babbler with the given local period and initial offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive.
+    pub fn new(period: Duration, offset: Duration) -> Self {
+        assert!(period > Duration::ZERO, "period must be positive");
+        Self { period, offset }
+    }
+}
+
+impl Node for BabblingDesNode {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        api.set_timer_local(api.local_now() + self.offset, 0);
+    }
+    fn on_pulse(&mut self, _from: usize, _api: &mut NodeApi<'_>) {}
+    fn on_timer(&mut self, _tag: u64, api: &mut NodeApi<'_>) {
+        api.broadcast();
+        api.set_timer_local(api.local_now() + self.period, 0);
+    }
+}
+
+/// Builds a [`GridNetwork`] whose grid nodes (layers ≥ 1) all start from
+/// randomly corrupted state, and injects `spurious` in-flight messages —
+/// the Theorem 1.6 self-stabilization workload ("transient faults may
+/// result in an arbitrary state of the system's constituent components").
+///
+/// Permanently faulty positions can additionally be supplied through
+/// `permanent`: those get a [`SilentDesNode`] (self-stabilization must
+/// work *in the presence of* permanent faults, Appendix C).
+#[allow(clippy::too_many_arguments)] // experiment-facing constructor; a config struct would obscure the knobs
+pub fn scrambled_network(
+    g: &LayeredGraph,
+    params: &Params,
+    env: &StaticEnvironment,
+    cfg: GridNodeConfig,
+    source_pulses: u64,
+    spurious: usize,
+    permanent: &std::collections::HashSet<NodeId>,
+    rng: &mut Rng,
+) -> GridNetwork {
+    let mut scramble_rng = rng.fork(0xDEAD);
+    let mut net = GridNetwork::build(g, params, env, cfg, source_pulses, rng, |id, wiring| {
+        if permanent.contains(&id) {
+            return Some(Box::new(SilentDesNode));
+        }
+        if id.layer == 0 {
+            return None; // Algorithm 2 is memoryless enough; see Lemma A.1.
+        }
+        let mut node =
+            GradientTrixNode::new(wiring.config, wiring.own_pred, wiring.neighbor_preds.clone());
+        node.scramble(&mut scramble_rng, LocalTime::ZERO);
+        Some(Box::new(node))
+    });
+    // Spurious messages already in flight at time 0.
+    let mut inject_rng = rng.fork(0xBEEF);
+    for _ in 0..spurious {
+        let to_engine = 1 + inject_rng.usize_below(g.node_count());
+        let from_engine = 1 + inject_rng.usize_below(g.node_count());
+        let at = Time::from(inject_rng.f64_in(0.0, params.d().as_f64()));
+        net.des.inject_delivery(to_engine, from_engine, at);
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use trix_sim::Des;
+    use trix_time::AffineClock;
+    use trix_topology::BaseGraph;
+
+    fn params() -> Params {
+        Params::with_standard_lambda(Duration::from(2000.0), Duration::from(1.0), 1.0001)
+    }
+
+    #[test]
+    fn babbler_fires_on_schedule() {
+        let mut des = Des::new(vec![AffineClock::PERFECT.into()]);
+        let mut nodes: Vec<Box<dyn Node>> = vec![Box::new(BabblingDesNode::new(
+            Duration::from(7.0),
+            Duration::from(3.0),
+        ))];
+        des.run(&mut nodes, Time::from(20.0));
+        let times: Vec<f64> = des.broadcasts().iter().map(|b| b.time.as_f64()).collect();
+        assert_eq!(times, vec![3.0, 10.0, 17.0]);
+    }
+
+    #[test]
+    fn scrambled_network_stabilizes() {
+        let p = params();
+        let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(4), 4);
+        let mut rng = Rng::seed_from(77);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let cfg = GridNodeConfig::standard(p, g.base().diameter());
+        let mut net = scrambled_network(
+            &g,
+            &p,
+            &env,
+            cfg,
+            30,
+            25,
+            &HashSet::new(),
+            &mut rng,
+        );
+        net.run(Time::from(1e9));
+        let by_node = net.broadcasts_by_node();
+        let lambda = p.lambda().as_f64();
+        // Every grid node must eventually settle into Λ-periodic pulsing.
+        for layer in 1..g.layer_count() {
+            for v in 0..g.width() {
+                let pulses = &by_node[net.index.engine_id(g.node(v, layer))];
+                assert!(
+                    pulses.len() >= 10,
+                    "node ({v},{layer}) stalled: {} pulses",
+                    pulses.len()
+                );
+                let tail = &pulses[pulses.len() - 6..pulses.len() - 1];
+                for w in tail.windows(2) {
+                    let gap = (w[1] - w[0]).as_f64();
+                    assert!(
+                        (gap - lambda).abs() < p.kappa().as_f64(),
+                        "node ({v},{layer}) did not stabilize: gap {gap}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scrambled_network_with_permanent_fault_still_stabilizes() {
+        let p = params();
+        let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(4), 4);
+        let mut rng = Rng::seed_from(13);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let cfg = GridNodeConfig::standard(p, g.base().diameter());
+        let dead = g.node(2, 1);
+        let permanent: HashSet<_> = [dead].into_iter().collect();
+        let mut net =
+            scrambled_network(&g, &p, &env, cfg, 30, 10, &permanent, &mut rng);
+        net.run(Time::from(1e9));
+        let by_node = net.broadcasts_by_node();
+        assert!(
+            by_node[net.index.engine_id(dead)].is_empty(),
+            "silent node must not pulse"
+        );
+        let lambda = p.lambda().as_f64();
+        for layer in 1..g.layer_count() {
+            for v in 0..g.width() {
+                let node = g.node(v, layer);
+                if node == dead {
+                    continue;
+                }
+                let pulses = &by_node[net.index.engine_id(node)];
+                assert!(
+                    pulses.len() >= 8,
+                    "node ({v},{layer}) stalled with {} pulses",
+                    pulses.len()
+                );
+                let tail = &pulses[pulses.len() - 5..pulses.len() - 1];
+                for w in tail.windows(2) {
+                    let gap = (w[1] - w[0]).as_f64();
+                    assert!(
+                        (gap - lambda).abs() < 2.0 * p.kappa().as_f64(),
+                        "node ({v},{layer}): gap {gap}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Fault injection for the Gradient TRIX reproduction.
+//!
+//! Implements the paper's fault model (§2): an unknown subset of nodes is
+//! faulty and behaves arbitrarily, constrained to 1-locality (no node has
+//! two faulty in-neighbors), which holds with probability `1 − o(1)` when
+//! nodes fail independently with probability `p ∈ o(n^{-1/2})`.
+//!
+//! * [`FaultBehavior`] — static faults (silent, delay-shift, two-faced)
+//!   and time-varying ones (jitter, change-point) for the dataflow
+//!   executor;
+//! * [`FaultySendModel`] — plugs behaviors into
+//!   [`trix_sim::run_dataflow`];
+//! * [`is_one_local`] / [`sample_iid`] / [`sample_one_local`] /
+//!   [`clustered_column`] — placements for Theorems 1.2 and 1.3;
+//! * [`SilentDesNode`] / [`BabblingDesNode`] / [`scrambled_network`] —
+//!   event-driven fault machinery for the self-stabilization experiments
+//!   (Theorem 1.6).
+//!
+//! # Examples
+//!
+//! ```
+//! use trix_faults::{is_one_local, sample_one_local};
+//! use trix_sim::Rng;
+//! use trix_topology::{BaseGraph, LayeredGraph};
+//!
+//! let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(16), 16);
+//! let mut rng = Rng::seed_from(9);
+//! let p = 0.5 / (g.node_count() as f64).sqrt();
+//! let (faults, _dropped) = sample_one_local(&g, p, 1, &mut rng);
+//! assert!(is_one_local(&g, &faults));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behavior;
+mod des_nodes;
+mod placement;
+mod send_model;
+
+pub use behavior::FaultBehavior;
+pub use des_nodes::{scrambled_network, BabblingDesNode, SilentDesNode};
+pub use placement::{clustered_column, is_one_local, sample_iid, sample_one_local};
+pub use send_model::FaultySendModel;

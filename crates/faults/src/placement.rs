@@ -1,0 +1,216 @@
+//! Fault placement strategies and the 1-locality check (paper §2).
+//!
+//! The fault model: each node fails independently with probability
+//! `p ∈ o(n^{-1/2})`, which implies — with probability `1 − o(1)` — that
+//! faults are **1-local**: for every `ℓ` and `v`,
+//! `|({(v,ℓ)} ∪ {(w,ℓ) : {v,w} ∈ E}) ∩ F| ≤ 1` (no closed in-neighborhood
+//! on a layer contains two faults, hence no node has two faulty
+//! predecessors).
+
+use std::collections::HashSet;
+use trix_sim::Rng;
+use trix_topology::{LayeredGraph, NodeId};
+
+/// Checks the paper's 1-locality condition on a fault set.
+///
+/// For every layer `ℓ` and base node `v`, at most one element of
+/// `{(v, ℓ)} ∪ {(w, ℓ) : w ∈ N(v)}` is faulty. This implies every node of
+/// layer `ℓ+1` has at most one faulty predecessor.
+pub fn is_one_local(g: &LayeredGraph, faults: &HashSet<NodeId>) -> bool {
+    for layer in 0..g.layer_count() {
+        for v in 0..g.width() {
+            let mut count = usize::from(faults.contains(&g.node(v, layer)));
+            for &w in g.base().neighbors(v) {
+                count += usize::from(faults.contains(&g.node(w, layer)));
+                if count > 1 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Samples each node of layers ≥ `min_layer` independently with
+/// probability `p`.
+///
+/// With `min_layer = 1` this matches the Theorem 1.2/1.3 setting
+/// ("none in layer 0"; Appendix A argues layer-0 faults have probability
+/// `o(1)` anyway).
+pub fn sample_iid(
+    g: &LayeredGraph,
+    p: f64,
+    min_layer: usize,
+    rng: &mut Rng,
+) -> HashSet<NodeId> {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    g.nodes()
+        .filter(|n| (n.layer as usize) >= min_layer && rng.bernoulli(p))
+        .collect()
+}
+
+/// Samples iid faults and greedily removes nodes until the set is 1-local
+/// (dropping the later-sampled member of each violating neighborhood).
+///
+/// Returns the thinned set and the number of dropped nodes. With
+/// `p ∈ o(n^{-1/2})` the expected number of drops is `o(1)`, so this
+/// conditioning matches the paper's "we assume this to be the case
+/// throughout our analysis".
+pub fn sample_one_local(
+    g: &LayeredGraph,
+    p: f64,
+    min_layer: usize,
+    rng: &mut Rng,
+) -> (HashSet<NodeId>, usize) {
+    let mut faults = sample_iid(g, p, min_layer, rng);
+    let mut dropped = 0;
+    loop {
+        let mut offender = None;
+        'scan: for layer in 0..g.layer_count() {
+            for v in 0..g.width() {
+                let mut members = Vec::new();
+                if faults.contains(&g.node(v, layer)) {
+                    members.push(g.node(v, layer));
+                }
+                for &w in g.base().neighbors(v) {
+                    if faults.contains(&g.node(w, layer)) {
+                        members.push(g.node(w, layer));
+                    }
+                }
+                if members.len() > 1 {
+                    offender = Some(members[members.len() - 1]);
+                    break 'scan;
+                }
+            }
+        }
+        match offender {
+            Some(node) => {
+                faults.remove(&node);
+                dropped += 1;
+            }
+            None => return (faults, dropped),
+        }
+    }
+}
+
+/// The worst-case clustered placement used by the Theorem 1.2 experiments:
+/// `f` faults in the same base-graph column `v`, on layers
+/// `start_layer, start_layer + spacing, …`.
+///
+/// Stacked same-column faults maximize compounding: each fault perturbs
+/// the pulse time fed to the next faulty node's neighborhood before the
+/// gradient mechanism has re-converged (spacing controls how much recovery
+/// time the algorithm gets — spacing 1 is the harshest 1-local
+/// configuration).
+///
+/// # Panics
+///
+/// Panics if the placement exceeds the layer count or violates
+/// 1-locality (spacing 0).
+pub fn clustered_column(
+    g: &LayeredGraph,
+    v: usize,
+    start_layer: usize,
+    spacing: usize,
+    f: usize,
+) -> HashSet<NodeId> {
+    assert!(spacing >= 1, "spacing 0 would violate 1-locality");
+    let mut out = HashSet::new();
+    for i in 0..f {
+        let layer = start_layer + i * spacing;
+        assert!(
+            layer < g.layer_count(),
+            "placement exceeds layer count: {layer}"
+        );
+        out.insert(g.node(v, layer));
+    }
+    debug_assert!(is_one_local(g, &out));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trix_topology::BaseGraph;
+
+    fn grid() -> LayeredGraph {
+        LayeredGraph::new(BaseGraph::line_with_replicated_ends(10), 12)
+    }
+
+    #[test]
+    fn empty_set_is_one_local() {
+        let g = grid();
+        assert!(is_one_local(&g, &HashSet::new()));
+    }
+
+    #[test]
+    fn adjacent_same_layer_faults_are_not_one_local() {
+        let g = grid();
+        let faults: HashSet<_> = [g.node(4, 3), g.node(5, 3)].into_iter().collect();
+        assert!(!is_one_local(&g, &faults));
+    }
+
+    #[test]
+    fn same_column_adjacent_layers_are_one_local() {
+        let g = grid();
+        let faults: HashSet<_> = [g.node(4, 3), g.node(4, 4)].into_iter().collect();
+        assert!(is_one_local(&g, &faults));
+    }
+
+    #[test]
+    fn distant_faults_are_one_local() {
+        let g = grid();
+        let faults: HashSet<_> = [g.node(2, 3), g.node(8, 3)].into_iter().collect();
+        assert!(is_one_local(&g, &faults));
+    }
+
+    #[test]
+    fn sample_iid_respects_min_layer_and_probability() {
+        let g = grid();
+        let mut rng = Rng::seed_from(1);
+        let faults = sample_iid(&g, 0.2, 1, &mut rng);
+        assert!(faults.iter().all(|n| n.layer >= 1));
+        let expected = 0.2 * (g.node_count() - g.width()) as f64;
+        let count = faults.len() as f64;
+        assert!(
+            (count - expected).abs() < expected * 0.5 + 10.0,
+            "count {count} too far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn sample_one_local_produces_one_local_sets() {
+        let g = grid();
+        for seed in 0..10 {
+            let mut rng = Rng::seed_from(seed);
+            let (faults, _) = sample_one_local(&g, 0.05, 1, &mut rng);
+            assert!(is_one_local(&g, &faults), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn thinning_reports_drops_under_dense_sampling() {
+        let g = grid();
+        let mut rng = Rng::seed_from(3);
+        let (faults, dropped) = sample_one_local(&g, 0.3, 1, &mut rng);
+        assert!(dropped > 0, "30% density must force drops");
+        assert!(is_one_local(&g, &faults));
+    }
+
+    #[test]
+    fn clustered_column_is_one_local() {
+        let g = grid();
+        let faults = clustered_column(&g, 5, 2, 1, 4);
+        assert_eq!(faults.len(), 4);
+        assert!(is_one_local(&g, &faults));
+        assert!(faults.contains(&g.node(5, 2)));
+        assert!(faults.contains(&g.node(5, 5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "spacing 0")]
+    fn clustered_column_rejects_zero_spacing() {
+        let g = grid();
+        let _ = clustered_column(&g, 5, 2, 0, 2);
+    }
+}

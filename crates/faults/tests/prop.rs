@@ -1,0 +1,77 @@
+//! Property tests for fault placement and behaviors.
+
+use proptest::prelude::*;
+use trix_faults::{is_one_local, sample_one_local, FaultBehavior};
+use trix_sim::Rng;
+use trix_time::{Duration, Time};
+use trix_topology::{BaseGraph, LayeredGraph, NodeId};
+
+proptest! {
+    /// `sample_one_local` always returns 1-local sets, at any density.
+    #[test]
+    fn sampled_sets_are_one_local(
+        seed in any::<u64>(),
+        width in 3usize..16,
+        layers in 2usize..10,
+        p in 0.0f64..0.4,
+    ) {
+        let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(width), layers);
+        let (faults, _) = sample_one_local(&g, p, 1, &mut Rng::seed_from(seed));
+        prop_assert!(is_one_local(&g, &faults));
+        prop_assert!(faults.iter().all(|n| n.layer >= 1));
+    }
+
+    /// Behaviors are deterministic functions of (node, pulse, target).
+    #[test]
+    fn behaviors_are_deterministic(
+        seed in any::<u64>(),
+        k in 0usize..100,
+        nominal in -1e6f64..1e6,
+        amp in 0.1f64..100.0,
+    ) {
+        let b = FaultBehavior::Jitter {
+            amplitude: Duration::from(amp),
+            seed,
+        };
+        let node = NodeId::new(3, 4);
+        let target = NodeId::new(2, 5);
+        let t = Some(Time::from(nominal));
+        prop_assert_eq!(
+            b.send_time(node, k, t, target),
+            b.send_time(node, k, t, target)
+        );
+        // Jitter bounded by the amplitude.
+        let out = b.send_time(node, k, t, target).unwrap();
+        prop_assert!((out.as_f64() - nominal).abs() <= amp + 1e-12);
+    }
+
+    /// Static behaviors really are static: identical output across pulses.
+    #[test]
+    fn static_behaviors_do_not_vary(
+        shift in -100.0f64..100.0,
+        nominal in -1e3f64..1e3,
+    ) {
+        let b = FaultBehavior::Shift(Duration::from(shift));
+        prop_assert!(b.is_static());
+        let node = NodeId::new(0, 1);
+        let target = NodeId::new(0, 2);
+        let first = b.send_time(node, 0, Some(Time::from(nominal)), target);
+        for k in 1..10 {
+            prop_assert_eq!(b.send_time(node, k, Some(Time::from(nominal)), target), first);
+        }
+    }
+
+    /// ChangeAt switches exactly at the configured pulse.
+    #[test]
+    fn change_at_switches_exactly(at in 1usize..20) {
+        let b = FaultBehavior::dies_at(at);
+        let node = NodeId::new(1, 1);
+        let target = NodeId::new(1, 2);
+        for k in 0..at {
+            prop_assert!(b.send_time(node, k, Some(Time::ZERO), target).is_some());
+        }
+        for k in at..at + 5 {
+            prop_assert!(b.send_time(node, k, Some(Time::ZERO), target).is_none());
+        }
+    }
+}

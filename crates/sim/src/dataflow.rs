@@ -1,0 +1,394 @@
+//! Exact layer-by-layer ("dataflow") execution of pulse-forwarding
+//! algorithms.
+//!
+//! The synchronization graph `G` is a DAG and — after initialization — each
+//! correct node's `k`-th pulse depends only on the `k`-th pulses of its
+//! predecessors (paper Lemma B.1). With affine hardware clocks every
+//! per-iteration decision has a closed form, so steady-state executions can
+//! be evaluated layer by layer with **no discretization error** and no event
+//! queue. This is the workhorse for the skew experiments; the event-driven
+//! engine in [`crate::des`] covers self-stabilization and other transient
+//! scenarios that the dataflow model cannot express.
+//!
+//! Faulty nodes are modeled by a [`SendModel`]: after the executor computes
+//! a node's *nominal* pulse time (what a correct node would do), the send
+//! model may replace, shift, or suppress the message actually delivered on
+//! each out-edge. Within this model a faulty node sends at most one message
+//! per iteration per edge; richer behaviors (babbling, spurious state) are
+//! exercised through the event-driven engine.
+
+use crate::Environment;
+use trix_time::{AffineClock, Time};
+use trix_topology::{LayeredGraph, NodeId};
+
+/// A per-node pulse-forwarding decision rule.
+///
+/// Implementations receive the *arrival* times (real time, at this node) of
+/// the predecessor messages for iteration `k` — `own` from `(v, ℓ−1)`,
+/// `neighbors[i]` from the `i`-th sorted base-graph neighbor — plus the
+/// node's hardware clock, and return the real time at which the node
+/// broadcasts its own pulse. `None` arrivals model messages that never came
+/// (faulty predecessor); a `None` return means the node cannot fire (e.g.
+/// rule starved of inputs).
+pub trait PulseRule {
+    /// Computes the broadcast time of `node` in iteration `k`.
+    fn pulse_time(
+        &self,
+        node: NodeId,
+        k: usize,
+        own: Option<Time>,
+        neighbors: &[Option<Time>],
+        clock: &AffineClock,
+    ) -> Option<Time>;
+}
+
+/// Transforms nominal pulse times into per-edge send times, modeling faults.
+pub trait SendModel {
+    /// The time at which `node`'s iteration-`k` message is sent toward
+    /// `target`, given the nominal broadcast time; `None` = no message.
+    fn send_time(
+        &self,
+        node: NodeId,
+        k: usize,
+        nominal: Option<Time>,
+        target: NodeId,
+    ) -> Option<Time>;
+
+    /// Whether `node` is faulty (excluded from skew metrics).
+    fn is_faulty(&self, node: NodeId) -> bool;
+}
+
+/// The fault-free send model: every node broadcasts its nominal pulse.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CorrectSends;
+
+impl SendModel for CorrectSends {
+    #[inline]
+    fn send_time(
+        &self,
+        _node: NodeId,
+        _k: usize,
+        nominal: Option<Time>,
+        _target: NodeId,
+    ) -> Option<Time> {
+        nominal
+    }
+
+    #[inline]
+    fn is_faulty(&self, _node: NodeId) -> bool {
+        false
+    }
+}
+
+/// Produces the pulse times of layer 0.
+///
+/// Layer 0 is driven by the clock source through the line-forwarding scheme
+/// of Appendix A; `trix-core` provides a faithful implementation. Pulse
+/// indices here are *diagonal-reindexed* (see DESIGN.md): iteration `k` of
+/// every layer-0 node is the pulse it contributes to iteration `k` of
+/// layer 1.
+pub trait Layer0Source {
+    /// Pulse time of layer-0 node `v` in iteration `k`.
+    fn pulse_time(&self, k: usize, v: usize) -> Time;
+}
+
+/// A trivial layer-0 source: node `v` pulses at `k·period + offset[v]`.
+#[derive(Clone, Debug)]
+pub struct OffsetLayer0 {
+    period: f64,
+    offsets: Vec<f64>,
+}
+
+impl OffsetLayer0 {
+    /// Creates the source from a period and per-node offsets.
+    pub fn new(period: f64, offsets: Vec<f64>) -> Self {
+        assert!(period > 0.0, "period must be positive");
+        Self { period, offsets }
+    }
+
+    /// Perfectly synchronized layer 0 (all offsets zero).
+    pub fn synchronized(period: f64, width: usize) -> Self {
+        Self::new(period, vec![0.0; width])
+    }
+}
+
+impl Layer0Source for OffsetLayer0 {
+    #[inline]
+    fn pulse_time(&self, k: usize, v: usize) -> Time {
+        Time::from(k as f64 * self.period + self.offsets[v])
+    }
+}
+
+/// The recorded pulse times of a dataflow (or event-driven) execution.
+///
+/// `time(k, node)` is the *nominal* broadcast time of `node` in iteration
+/// `k` — for faulty nodes this is what a correct node in their place would
+/// have done; their actual (overridden) sends are only visible through their
+/// effect on successors. Metrics must exclude faulty nodes via
+/// [`PulseTrace::is_faulty`].
+#[derive(Clone, Debug)]
+pub struct PulseTrace {
+    width: usize,
+    layer_count: usize,
+    pulses: usize,
+    times: Vec<Option<Time>>,
+    faulty: Vec<bool>,
+}
+
+impl PulseTrace {
+    /// Creates an empty trace for `pulses` iterations of `g`.
+    pub fn new(g: &LayeredGraph, pulses: usize) -> Self {
+        Self {
+            width: g.width(),
+            layer_count: g.layer_count(),
+            pulses,
+            times: vec![None; pulses * g.node_count()],
+            faulty: vec![false; g.node_count()],
+        }
+    }
+
+    /// Number of recorded iterations.
+    #[inline]
+    pub fn pulses(&self) -> usize {
+        self.pulses
+    }
+
+    /// Nodes per layer.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of layers.
+    #[inline]
+    pub fn layer_count(&self) -> usize {
+        self.layer_count
+    }
+
+    #[inline]
+    fn node_index(&self, node: NodeId) -> usize {
+        node.layer as usize * self.width + node.v as usize
+    }
+
+    /// The recorded time of `node` in iteration `k`, if it fired.
+    #[inline]
+    pub fn time(&self, k: usize, node: NodeId) -> Option<Time> {
+        self.times[k * self.width * self.layer_count + self.node_index(node)]
+    }
+
+    /// Records a pulse time.
+    #[inline]
+    pub fn set_time(&mut self, k: usize, node: NodeId, t: Option<Time>) {
+        let idx = k * self.width * self.layer_count + self.node_index(node);
+        self.times[idx] = t;
+    }
+
+    /// Marks a node as faulty.
+    pub fn set_faulty(&mut self, node: NodeId) {
+        let idx = self.node_index(node);
+        self.faulty[idx] = true;
+    }
+
+    /// Whether `node` is faulty.
+    #[inline]
+    pub fn is_faulty(&self, node: NodeId) -> bool {
+        self.faulty[self.node_index(node)]
+    }
+
+    /// Iterates over the correct nodes of one layer with their iteration-`k`
+    /// pulse times.
+    pub fn layer_times(
+        &self,
+        k: usize,
+        layer: usize,
+    ) -> impl Iterator<Item = (usize, Time)> + '_ {
+        (0..self.width).filter_map(move |v| {
+            let node = NodeId::new(v as u32, layer as u32);
+            if self.is_faulty(node) {
+                return None;
+            }
+            self.time(k, node).map(|t| (v, t))
+        })
+    }
+}
+
+/// Runs a pulse-forwarding rule on the layered graph for `pulses`
+/// iterations and returns the recorded trace.
+///
+/// # Examples
+///
+/// A rule that fires a fixed offset after its own predecessor reproduces a
+/// pure pipeline:
+///
+/// ```
+/// use trix_sim::{run_dataflow, CorrectSends, OffsetLayer0, PulseRule, StaticEnvironment};
+/// use trix_time::{AffineClock, Duration, Time};
+/// use trix_topology::{BaseGraph, LayeredGraph, NodeId};
+///
+/// struct FixedLag;
+/// impl PulseRule for FixedLag {
+///     fn pulse_time(
+///         &self,
+///         _n: NodeId,
+///         _k: usize,
+///         own: Option<Time>,
+///         _nb: &[Option<Time>],
+///         _c: &AffineClock,
+///     ) -> Option<Time> {
+///         own.map(|t| t + Duration::from(1.0))
+///     }
+/// }
+///
+/// let g = LayeredGraph::new(BaseGraph::cycle(4), 3);
+/// let env = StaticEnvironment::nominal(&g, Duration::from(10.0));
+/// let layer0 = OffsetLayer0::synchronized(20.0, g.width());
+/// let trace = run_dataflow(&g, &env, &layer0, &FixedLag, &CorrectSends, 2);
+/// assert_eq!(trace.time(0, g.node(0, 2)), Some(Time::from(22.0)));
+/// ```
+pub fn run_dataflow(
+    g: &LayeredGraph,
+    env: &impl Environment,
+    layer0: &impl Layer0Source,
+    rule: &impl PulseRule,
+    sends: &impl SendModel,
+    pulses: usize,
+) -> PulseTrace {
+    let mut trace = PulseTrace::new(g, pulses);
+    for n in g.nodes() {
+        if sends.is_faulty(n) {
+            trace.set_faulty(n);
+        }
+    }
+    let mut neighbor_arrivals: Vec<Option<Time>> = Vec::new();
+    for k in 0..pulses {
+        for v in 0..g.width() {
+            let node = g.node(v, 0);
+            trace.set_time(k, node, Some(layer0.pulse_time(k, v)));
+        }
+        for layer in 1..g.layer_count() {
+            for w in 0..g.width() {
+                let target = g.node(w, layer);
+                let own_sender = g.node(w, layer - 1);
+                let own = sends
+                    .send_time(own_sender, k, trace.time(k, own_sender), target)
+                    .map(|t| t + env.delay(k, g.own_in_edge(target)));
+                neighbor_arrivals.clear();
+                for (slot, &x) in g.base().neighbors(w).iter().enumerate() {
+                    let sender = g.node(x, layer - 1);
+                    let arrival = sends
+                        .send_time(sender, k, trace.time(k, sender), target)
+                        .map(|t| t + env.delay(k, g.neighbor_in_edge(target, slot)));
+                    neighbor_arrivals.push(arrival);
+                }
+                let clock = env.clock(k, target);
+                let t = rule.pulse_time(target, k, own, &neighbor_arrivals, &clock);
+                trace.set_time(k, target, t);
+            }
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StaticEnvironment;
+    use trix_time::Duration;
+    use trix_topology::BaseGraph;
+
+    /// Fires at max(arrivals) + 1.
+    struct MaxPlusOne;
+
+    impl PulseRule for MaxPlusOne {
+        fn pulse_time(
+            &self,
+            _node: NodeId,
+            _k: usize,
+            own: Option<Time>,
+            neighbors: &[Option<Time>],
+            _clock: &AffineClock,
+        ) -> Option<Time> {
+            let mut best: Option<Time> = own;
+            for &n in neighbors {
+                best = match (best, n) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            best.map(|t| t + Duration::from(1.0))
+        }
+    }
+
+    fn setup() -> (LayeredGraph, StaticEnvironment, OffsetLayer0) {
+        let g = LayeredGraph::new(BaseGraph::cycle(5), 4);
+        let env = StaticEnvironment::nominal(&g, Duration::from(10.0));
+        let layer0 = OffsetLayer0::synchronized(50.0, g.width());
+        (g, env, layer0)
+    }
+
+    #[test]
+    fn synchronized_inputs_propagate_in_lockstep() {
+        let (g, env, layer0) = setup();
+        let trace = run_dataflow(&g, &env, &layer0, &MaxPlusOne, &CorrectSends, 3);
+        for k in 0..3 {
+            for layer in 0..4 {
+                let times: Vec<Time> =
+                    trace.layer_times(k, layer).map(|(_, t)| t).collect();
+                assert_eq!(times.len(), 5);
+                assert!(times.windows(2).all(|w| w[0] == w[1]));
+            }
+            // Each layer adds delay 10 + processing 1.
+            let t0 = trace.time(k, g.node(0, 0)).unwrap();
+            let t3 = trace.time(k, g.node(0, 3)).unwrap();
+            assert_eq!(t3 - t0, Duration::from(33.0));
+        }
+    }
+
+    /// A send model that silences one node.
+    struct Silence(NodeId);
+
+    impl SendModel for Silence {
+        fn send_time(
+            &self,
+            node: NodeId,
+            _k: usize,
+            nominal: Option<Time>,
+            _target: NodeId,
+        ) -> Option<Time> {
+            if node == self.0 {
+                None
+            } else {
+                nominal
+            }
+        }
+
+        fn is_faulty(&self, node: NodeId) -> bool {
+            node == self.0
+        }
+    }
+
+    #[test]
+    fn silenced_node_still_has_nominal_time_but_is_flagged() {
+        let (g, env, layer0) = setup();
+        let bad = g.node(2, 1);
+        let trace = run_dataflow(&g, &env, &layer0, &MaxPlusOne, &Silence(bad), 1);
+        assert!(trace.is_faulty(bad));
+        assert!(trace.time(0, bad).is_some(), "nominal time still recorded");
+        // Successors still fire from their remaining predecessors.
+        for v in 0..g.width() {
+            assert!(trace.time(0, g.node(v, 2)).is_some());
+        }
+        // layer_times skips the faulty node.
+        assert_eq!(trace.layer_times(0, 1).count(), 4);
+    }
+
+    #[test]
+    fn staggered_layer0_offsets_shift_downstream() {
+        let g = LayeredGraph::new(BaseGraph::cycle(4), 2);
+        let env = StaticEnvironment::nominal(&g, Duration::from(10.0));
+        let layer0 = OffsetLayer0::new(50.0, vec![0.0, 1.0, 2.0, 3.0]);
+        let trace = run_dataflow(&g, &env, &layer0, &MaxPlusOne, &CorrectSends, 1);
+        // Node (0,1) sees preds {0,1,3} with offsets {0,1,3}: max 3.
+        assert_eq!(trace.time(0, g.node(0, 1)), Some(Time::from(14.0)));
+    }
+}

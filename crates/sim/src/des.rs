@@ -1,0 +1,512 @@
+//! A deterministic discrete-event simulation (DES) engine.
+//!
+//! The dataflow executor ([`crate::run_dataflow`]) covers steady-state
+//! executions; this engine covers everything it cannot: arbitrary initial
+//! states (self-stabilization, Theorem 1.6), spurious in-flight messages,
+//! babbling faulty nodes, and protocols with intra-layer communication
+//! (HEX). Nodes are state machines implementing [`Node`]; the engine owns
+//! the hardware clocks and the link topology, delivers pulse messages after
+//! per-link delays, and fires timers that nodes request in *local* time.
+//!
+//! Determinism: events are ordered by `(time, sequence-number)`, where the
+//! sequence number is assigned at scheduling time, so executions are
+//! bit-reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use trix_time::{Clock, Duration, LocalTime, PiecewiseClock, Time};
+
+/// A directed communication link with a fixed delay.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Link {
+    /// Destination node index.
+    pub to: usize,
+    /// End-to-end delay `δ_e ∈ [d−u, d]` (includes computation, per §2).
+    pub delay: Duration,
+}
+
+/// Actions a node can request during a callback.
+#[derive(Clone, Debug, PartialEq)]
+enum Action {
+    Broadcast,
+    SendTo(usize),
+    TimerLocal { at: LocalTime, tag: u64 },
+}
+
+/// The interface a node uses to interact with the simulated world.
+///
+/// Protocol logic should only consult [`NodeApi::local_now`]; real time
+/// ([`NodeApi::now`]) is exposed for instrumentation and assertions.
+#[derive(Debug)]
+pub struct NodeApi<'a> {
+    id: usize,
+    now: Time,
+    local: LocalTime,
+    actions: &'a mut Vec<Action>,
+}
+
+impl NodeApi<'_> {
+    /// This node's index.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Current real time (instrumentation only).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Current reading of this node's hardware clock.
+    #[inline]
+    pub fn local_now(&self) -> LocalTime {
+        self.local
+    }
+
+    /// Broadcasts a pulse on all outgoing links.
+    pub fn broadcast(&mut self) {
+        self.actions.push(Action::Broadcast);
+    }
+
+    /// Sends a pulse on the single link to `to` (faulty nodes may do this;
+    /// correct Gradient TRIX nodes only broadcast).
+    pub fn send_to(&mut self, to: usize) {
+        self.actions.push(Action::SendTo(to));
+    }
+
+    /// Requests a wake-up when this node's hardware clock reads `at`.
+    ///
+    /// If `at` is not after the current local time the timer fires
+    /// immediately (at the current real time). Timers are not cancellable;
+    /// nodes ignore stale ones by checking `tag` against their state.
+    pub fn set_timer_local(&mut self, at: LocalTime, tag: u64) {
+        self.actions.push(Action::TimerLocal { at, tag });
+    }
+}
+
+/// A simulated node: a deterministic state machine reacting to the start
+/// event, pulse deliveries, and its own timers.
+pub trait Node {
+    /// Called once at simulation start (real time 0).
+    fn on_start(&mut self, api: &mut NodeApi<'_>);
+
+    /// Called when a pulse from node `from` is delivered.
+    fn on_pulse(&mut self, from: usize, api: &mut NodeApi<'_>);
+
+    /// Called when a timer with tag `tag` fires.
+    fn on_timer(&mut self, tag: u64, api: &mut NodeApi<'_>);
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum EventKind {
+    Deliver { to: usize, from: usize },
+    Timer { node: usize, tag: u64 },
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct QueuedEvent {
+    t: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.t, self.seq).cmp(&(other.t, other.seq))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A recorded broadcast: node index and real time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Broadcast {
+    /// Index of the broadcasting node.
+    pub node: usize,
+    /// Real time of the broadcast.
+    pub time: Time,
+}
+
+/// The discrete-event engine.
+///
+/// # Examples
+///
+/// ```
+/// use trix_sim::{Des, Link, Node, NodeApi};
+/// use trix_time::{AffineClock, Duration, LocalTime, Time};
+///
+/// /// Fires once at local time 5, then re-broadcasts every received pulse
+/// /// after a unit local delay.
+/// struct Echo;
+/// impl Node for Echo {
+///     fn on_start(&mut self, api: &mut NodeApi<'_>) {
+///         if api.id() == 0 {
+///             api.set_timer_local(LocalTime::from(5.0), 0);
+///         }
+///     }
+///     fn on_pulse(&mut self, _from: usize, api: &mut NodeApi<'_>) {
+///         api.set_timer_local(api.local_now() + Duration::from(1.0), 0);
+///     }
+///     fn on_timer(&mut self, _tag: u64, api: &mut NodeApi<'_>) {
+///         api.broadcast();
+///     }
+/// }
+///
+/// let mut des = Des::new(vec![AffineClock::PERFECT.into(); 2]);
+/// des.add_link(0, Link { to: 1, delay: Duration::from(2.0) });
+/// let mut nodes: Vec<Box<dyn Node>> = vec![Box::new(Echo), Box::new(Echo)];
+/// des.run(&mut nodes, Time::from(20.0));
+/// // Node 0 fires at 5; node 1 receives at 7, fires at 8.
+/// assert_eq!(des.broadcasts().len(), 2);
+/// assert_eq!(des.broadcasts()[1].time, Time::from(8.0));
+/// ```
+#[derive(Debug)]
+pub struct Des {
+    clocks: Vec<PiecewiseClock>,
+    out_links: Vec<Vec<Link>>,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    seq: u64,
+    now: Time,
+    broadcasts: Vec<Broadcast>,
+    events_processed: u64,
+    max_events: u64,
+}
+
+impl Des {
+    /// Creates an engine for `clocks.len()` nodes with no links.
+    pub fn new(clocks: Vec<PiecewiseClock>) -> Self {
+        let n = clocks.len();
+        Self {
+            clocks,
+            out_links: vec![Vec::new(); n],
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            broadcasts: Vec::new(),
+            events_processed: 0,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Adds a directed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or the delay is negative.
+    pub fn add_link(&mut self, from: usize, link: Link) {
+        assert!(from < self.out_links.len(), "source out of range");
+        assert!(link.to < self.out_links.len(), "target out of range");
+        assert!(link.delay >= Duration::ZERO, "delays must be non-negative");
+        self.out_links[from].push(link);
+    }
+
+    /// Caps the number of processed events (guards against babbling-fault
+    /// runaway). The default is unlimited.
+    pub fn set_max_events(&mut self, max_events: u64) {
+        self.max_events = max_events;
+    }
+
+    /// Injects a pulse delivery at an absolute time — models spurious
+    /// messages already in flight at simulation start (self-stabilization
+    /// experiments, Appendix C).
+    pub fn inject_delivery(&mut self, to: usize, from: usize, at: Time) {
+        self.push(at, EventKind::Deliver { to, from });
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// The recorded broadcasts, in time order.
+    pub fn broadcasts(&self) -> &[Broadcast] {
+        &self.broadcasts
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    fn push(&mut self, t: Time, kind: EventKind) {
+        self.queue.push(Reverse(QueuedEvent {
+            t,
+            seq: self.seq,
+            kind,
+        }));
+        self.seq += 1;
+    }
+
+    fn apply_actions(&mut self, node: usize, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
+            match action {
+                Action::Broadcast => {
+                    self.broadcasts.push(Broadcast {
+                        node,
+                        time: self.now,
+                    });
+                    let links = self.out_links[node].clone();
+                    for link in links {
+                        self.push(
+                            self.now + link.delay,
+                            EventKind::Deliver {
+                                to: link.to,
+                                from: node,
+                            },
+                        );
+                    }
+                }
+                Action::SendTo(to) => {
+                    let delay = self.out_links[node]
+                        .iter()
+                        .find(|l| l.to == to)
+                        .map(|l| l.delay)
+                        .expect("send_to requires an existing link");
+                    self.push(self.now + delay, EventKind::Deliver { to, from: node });
+                }
+                Action::TimerLocal { at, tag } => {
+                    let real = self.clocks[node].real_at(at).max(self.now);
+                    self.push(real, EventKind::Timer { node, tag });
+                }
+            }
+        }
+    }
+
+    /// Runs the simulation until `until` (inclusive) or until the event
+    /// queue drains or the event cap is hit.
+    ///
+    /// `nodes[i]` is the state machine for node `i`; `on_start` is invoked
+    /// for every node (in index order) at the current time on every call to
+    /// `run`, so call it once per simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` does not match the engine's node count.
+    pub fn run(&mut self, nodes: &mut [Box<dyn Node>], until: Time) {
+        assert_eq!(nodes.len(), self.node_count(), "node count mismatch");
+        let mut actions = Vec::new();
+        for (id, node) in nodes.iter_mut().enumerate() {
+            let mut api = NodeApi {
+                id,
+                now: self.now,
+                local: self.clocks[id].local_at(self.now),
+                actions: &mut actions,
+            };
+            node.on_start(&mut api);
+            self.apply_actions(id, &mut actions);
+        }
+        while let Some(Reverse(ev)) = self.queue.peek().cloned() {
+            if ev.t > until || self.events_processed >= self.max_events {
+                break;
+            }
+            self.queue.pop();
+            self.now = ev.t;
+            self.events_processed += 1;
+            let (id, deliver_from, timer_tag) = match ev.kind {
+                EventKind::Deliver { to, from } => (to, Some(from), None),
+                EventKind::Timer { node, tag } => (node, None, Some(tag)),
+            };
+            let mut api = NodeApi {
+                id,
+                now: self.now,
+                local: self.clocks[id].local_at(self.now),
+                actions: &mut actions,
+            };
+            match (deliver_from, timer_tag) {
+                (Some(from), _) => nodes[id].on_pulse(from, &mut api),
+                (_, Some(tag)) => nodes[id].on_timer(tag, &mut api),
+                _ => unreachable!(),
+            }
+            self.apply_actions(id, &mut actions);
+        }
+        self.now = until.max(self.now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trix_time::AffineClock;
+
+    /// Broadcasts `count` pulses at a fixed local period.
+    struct Ticker {
+        period: Duration,
+        remaining: u32,
+    }
+
+    impl Node for Ticker {
+        fn on_start(&mut self, api: &mut NodeApi<'_>) {
+            if self.remaining > 0 {
+                api.set_timer_local(api.local_now() + self.period, 0);
+            }
+        }
+        fn on_pulse(&mut self, _from: usize, _api: &mut NodeApi<'_>) {}
+        fn on_timer(&mut self, _tag: u64, api: &mut NodeApi<'_>) {
+            api.broadcast();
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                api.set_timer_local(api.local_now() + self.period, 0);
+            }
+        }
+    }
+
+    /// Records the real times at which it receives pulses.
+    #[derive(Default)]
+    struct Sink {
+        received: Vec<Time>,
+    }
+
+    impl Node for Sink {
+        fn on_start(&mut self, _api: &mut NodeApi<'_>) {}
+        fn on_pulse(&mut self, _from: usize, api: &mut NodeApi<'_>) {
+            self.received.push(api.now());
+        }
+        fn on_timer(&mut self, _tag: u64, _api: &mut NodeApi<'_>) {}
+    }
+
+    #[test]
+    fn periodic_ticker_with_drifting_clock() {
+        // Rate 2.0: local period 10 = real period 5.
+        let mut des = Des::new(vec![AffineClock::with_rate(2.0).into()]);
+        let mut nodes: Vec<Box<dyn Node>> = vec![Box::new(Ticker {
+            period: Duration::from(10.0),
+            remaining: 3,
+        })];
+        des.run(&mut nodes, Time::from(100.0));
+        let times: Vec<Time> = des.broadcasts().iter().map(|b| b.time).collect();
+        assert_eq!(
+            times,
+            vec![Time::from(5.0), Time::from(10.0), Time::from(15.0)]
+        );
+    }
+
+    #[test]
+    fn delivery_after_link_delay() {
+        let mut des = Des::new(vec![AffineClock::PERFECT.into(); 2]);
+        des.add_link(
+            0,
+            Link {
+                to: 1,
+                delay: Duration::from(3.5),
+            },
+        );
+        let mut nodes: Vec<Box<dyn Node>> = vec![
+            Box::new(Ticker {
+                period: Duration::from(1.0),
+                remaining: 1,
+            }),
+            Box::new(Sink::default()),
+        ];
+        des.run(&mut nodes, Time::from(10.0));
+        // Downcast via re-borrowing is awkward with Box<dyn Node>; check the
+        // engine's log instead: broadcast at 1.0 delivered at 4.5 (no
+        // broadcast from the sink).
+        assert_eq!(des.broadcasts().len(), 1);
+        assert_eq!(des.broadcasts()[0].time, Time::from(1.0));
+        assert_eq!(des.events_processed(), 2); // timer + delivery
+    }
+
+    #[test]
+    fn injected_delivery_reaches_node() {
+        let mut des = Des::new(vec![AffineClock::PERFECT.into(); 2]);
+        des.inject_delivery(1, 0, Time::from(2.0));
+        let mut nodes: Vec<Box<dyn Node>> =
+            vec![Box::new(Sink::default()), Box::new(Sink::default())];
+        des.run(&mut nodes, Time::from(5.0));
+        assert_eq!(des.events_processed(), 1);
+    }
+
+    #[test]
+    fn event_cap_stops_runaway() {
+        // Two nodes echo every pulse back: infinite ping-pong.
+        struct PingPong;
+        impl Node for PingPong {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                if api.id() == 0 {
+                    api.broadcast();
+                }
+            }
+            fn on_pulse(&mut self, _from: usize, api: &mut NodeApi<'_>) {
+                api.broadcast();
+            }
+            fn on_timer(&mut self, _tag: u64, _api: &mut NodeApi<'_>) {}
+        }
+        let mut des = Des::new(vec![AffineClock::PERFECT.into(); 2]);
+        des.add_link(
+            0,
+            Link {
+                to: 1,
+                delay: Duration::from(1.0),
+            },
+        );
+        des.add_link(
+            1,
+            Link {
+                to: 0,
+                delay: Duration::from(1.0),
+            },
+        );
+        des.set_max_events(50);
+        let mut nodes: Vec<Box<dyn Node>> = vec![Box::new(PingPong), Box::new(PingPong)];
+        des.run(&mut nodes, Time::from(1e12));
+        assert_eq!(des.events_processed(), 50);
+    }
+
+    #[test]
+    fn ties_resolve_by_scheduling_order() {
+        // Two injected deliveries at the same instant: processed in
+        // injection order.
+        struct Recorder(Vec<usize>);
+        impl Node for Recorder {
+            fn on_start(&mut self, _api: &mut NodeApi<'_>) {}
+            fn on_pulse(&mut self, from: usize, _api: &mut NodeApi<'_>) {
+                self.0.push(from);
+            }
+            fn on_timer(&mut self, _tag: u64, _api: &mut NodeApi<'_>) {}
+        }
+        let mut des = Des::new(vec![AffineClock::PERFECT.into(); 3]);
+        des.inject_delivery(0, 2, Time::from(1.0));
+        des.inject_delivery(0, 1, Time::from(1.0));
+        let mut nodes: Vec<Box<dyn Node>> = vec![
+            Box::new(Recorder(Vec::new())),
+            Box::new(Recorder(Vec::new())),
+            Box::new(Recorder(Vec::new())),
+        ];
+        des.run(&mut nodes, Time::from(2.0));
+        assert_eq!(des.events_processed(), 2);
+    }
+
+    #[test]
+    fn past_local_timer_fires_immediately() {
+        struct PastTimer {
+            fired_at: Option<Time>,
+        }
+        impl Node for PastTimer {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                // Ask for a wake-up in the local past.
+                api.set_timer_local(LocalTime::from(-5.0), 7);
+            }
+            fn on_pulse(&mut self, _from: usize, _api: &mut NodeApi<'_>) {}
+            fn on_timer(&mut self, tag: u64, api: &mut NodeApi<'_>) {
+                assert_eq!(tag, 7);
+                self.fired_at = Some(api.now());
+                api.broadcast();
+            }
+        }
+        let mut des = Des::new(vec![AffineClock::PERFECT.into()]);
+        let mut nodes: Vec<Box<dyn Node>> = vec![Box::new(PastTimer { fired_at: None })];
+        des.run(&mut nodes, Time::from(1.0));
+        assert_eq!(des.broadcasts().len(), 1);
+        assert_eq!(des.broadcasts()[0].time, Time::ZERO);
+    }
+}

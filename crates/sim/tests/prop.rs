@@ -1,0 +1,102 @@
+//! Property tests for the simulation substrate.
+
+use proptest::prelude::*;
+use trix_sim::{Des, Link, Node, NodeApi, Rng, StaticEnvironment};
+use trix_time::{AffineClock, Duration, Time};
+use trix_topology::{BaseGraph, EdgeId, LayeredGraph};
+
+proptest! {
+    /// RNG: fork streams are stable, uniform samples are in range.
+    #[test]
+    fn rng_fork_and_range(seed in any::<u64>(), stream in any::<u64>(), lo in -100.0f64..0.0, span in 0.001f64..100.0) {
+        let root = Rng::seed_from(seed);
+        let mut a = root.fork(stream);
+        let mut b = root.fork(stream);
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+        let x = a.f64_in(lo, lo + span);
+        prop_assert!(x >= lo && x < lo + span);
+        let i = a.usize_below(17);
+        prop_assert!(i < 17);
+    }
+
+    /// Random environments always respect the model windows.
+    #[test]
+    fn environments_within_model(seed in any::<u64>(), width in 2usize..12, layers in 2usize..6) {
+        use trix_sim::Environment;
+        let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(width), layers);
+        let d = Duration::from(100.0);
+        let u = Duration::from(7.0);
+        let theta = 1.002;
+        let env = StaticEnvironment::random(&g, d, u, theta, &mut Rng::seed_from(seed));
+        for e in 0..g.edge_count() {
+            let delay = env.delay(0, EdgeId(e));
+            prop_assert!(delay >= d - u && delay <= d);
+        }
+        for n in g.nodes() {
+            prop_assert!(env.clock(0, n).within_drift_bound(theta));
+        }
+    }
+
+    /// DES timer conversion: a node asking for a wake-up `dh` of local
+    /// time in the future gets it `dh / rate` of real time later.
+    #[test]
+    fn des_timer_respects_clock_rate(rate in 1.0f64..2.0, dh in 0.1f64..100.0) {
+        struct OneTimer {
+            dh: Duration,
+        }
+        impl Node for OneTimer {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                api.set_timer_local(api.local_now() + self.dh, 0);
+            }
+            fn on_pulse(&mut self, _from: usize, _api: &mut NodeApi<'_>) {}
+            fn on_timer(&mut self, _tag: u64, api: &mut NodeApi<'_>) {
+                api.broadcast();
+            }
+        }
+        let mut des = Des::new(vec![AffineClock::with_rate(rate).into()]);
+        let mut nodes: Vec<Box<dyn Node>> =
+            vec![Box::new(OneTimer { dh: Duration::from(dh) })];
+        des.run(&mut nodes, Time::from(1e9));
+        prop_assert_eq!(des.broadcasts().len(), 1);
+        let fired = des.broadcasts()[0].time.as_f64();
+        prop_assert!((fired - dh / rate).abs() < 1e-9);
+    }
+
+    /// DES delivery: messages arrive exactly delay later, in order.
+    #[test]
+    fn des_delivery_order(d1 in 1.0f64..50.0, d2 in 1.0f64..50.0) {
+        struct Sender;
+        impl Node for Sender {
+            fn on_start(&mut self, api: &mut NodeApi<'_>) {
+                if api.id() == 0 {
+                    api.broadcast();
+                }
+            }
+            fn on_pulse(&mut self, _from: usize, _api: &mut NodeApi<'_>) {}
+            fn on_timer(&mut self, _tag: u64, _api: &mut NodeApi<'_>) {}
+        }
+        #[derive(Default)]
+        struct Recorder(Vec<(usize, f64)>);
+        impl Node for Recorder {
+            fn on_start(&mut self, _api: &mut NodeApi<'_>) {}
+            fn on_pulse(&mut self, from: usize, api: &mut NodeApi<'_>) {
+                self.0.push((from, api.now().as_f64()));
+            }
+            fn on_timer(&mut self, _tag: u64, _api: &mut NodeApi<'_>) {}
+        }
+        let mut des = Des::new(vec![
+            AffineClock::PERFECT.into(),
+            AffineClock::PERFECT.into(),
+            AffineClock::PERFECT.into(),
+        ]);
+        des.add_link(0, Link { to: 1, delay: Duration::from(d1) });
+        des.add_link(0, Link { to: 2, delay: Duration::from(d2) });
+        let mut nodes: Vec<Box<dyn Node>> = vec![
+            Box::new(Sender),
+            Box::new(Recorder::default()),
+            Box::new(Recorder::default()),
+        ];
+        des.run(&mut nodes, Time::from(1e6));
+        prop_assert_eq!(des.events_processed(), 2);
+    }
+}

@@ -1,0 +1,276 @@
+//! Signed time spans.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A signed span of time, in the same abstract units as
+/// [`Time`](crate::Time).
+///
+/// Durations may be negative: skews, corrections (`C_{v,ℓ}` can be negative —
+/// that is the paper's central algorithmic novelty) and potentials are all
+/// signed quantities.
+///
+/// # Examples
+///
+/// ```
+/// use trix_time::Duration;
+///
+/// let kappa = Duration::from(0.25);
+/// assert_eq!(kappa * 4.0, Duration::from(1.0));
+/// assert!((-kappa).is_negative());
+/// ```
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct Duration(f64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Positive infinity, used as "never" in timeouts.
+    pub const INFINITY: Self = Self(f64::INFINITY);
+
+    /// Returns the raw floating-point value.
+    #[inline]
+    pub const fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` if the duration is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Returns `true` if the duration is strictly negative.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0.0
+    }
+
+    /// Returns `true` if the duration is strictly positive.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 > 0.0
+    }
+
+    /// Returns the absolute value.
+    #[inline]
+    pub fn abs(self) -> Self {
+        Self(self.0.abs())
+    }
+
+    /// Returns the smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two durations.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamps the duration into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "invalid clamp interval");
+        self.max(lo).min(hi)
+    }
+}
+
+impl From<f64> for Duration {
+    #[inline]
+    fn from(value: f64) -> Self {
+        debug_assert!(!value.is_nan(), "durations must not be NaN");
+        Self(value)
+    }
+}
+
+impl From<Duration> for f64 {
+    #[inline]
+    fn from(value: Duration) -> f64 {
+        value.0
+    }
+}
+
+impl Eq for Duration {}
+
+impl PartialOrd for Duration {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Duration {
+    #[inline]
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Duration({})", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl Add for Duration {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Duration {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self(-self.0)
+    }
+}
+
+impl Mul<f64> for Duration {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Mul<Duration> for f64 {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: Duration) -> Duration {
+        Duration(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Duration {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Self(self.0 / rhs)
+    }
+}
+
+impl Div for Duration {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Self) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Duration::from(2.0);
+        let b = Duration::from(0.5);
+        assert_eq!(a + b, Duration::from(2.5));
+        assert_eq!(a - b, Duration::from(1.5));
+        assert_eq!(-a, Duration::from(-2.0));
+        assert_eq!(a * 3.0, Duration::from(6.0));
+        assert_eq!(3.0 * a, Duration::from(6.0));
+        assert_eq!(a / 4.0, Duration::from(0.5));
+        assert_eq!(a / b, 4.0);
+    }
+
+    #[test]
+    fn signs_and_abs() {
+        assert!(Duration::from(-1.0).is_negative());
+        assert!(Duration::from(1.0).is_positive());
+        assert!(!Duration::ZERO.is_negative());
+        assert!(!Duration::ZERO.is_positive());
+        assert_eq!(Duration::from(-2.0).abs(), Duration::from(2.0));
+    }
+
+    #[test]
+    fn clamp_and_minmax() {
+        let k = Duration::from(1.0);
+        assert_eq!(
+            Duration::from(5.0).clamp(Duration::ZERO, k),
+            k,
+            "clamped above"
+        );
+        assert_eq!(
+            Duration::from(-5.0).clamp(Duration::ZERO, k),
+            Duration::ZERO
+        );
+        assert_eq!(Duration::from(0.5).clamp(Duration::ZERO, k), Duration::from(0.5));
+        assert_eq!(k.min(Duration::ZERO), Duration::ZERO);
+        assert_eq!(k.max(Duration::ZERO), k);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid clamp interval")]
+    fn clamp_rejects_inverted_interval() {
+        let _ = Duration::ZERO.clamp(Duration::from(1.0), Duration::from(0.0));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Duration = (1..=4).map(|i| Duration::from(i as f64)).sum();
+        assert_eq!(total, Duration::from(10.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut d = Duration::from(1.0);
+        d += Duration::from(2.0);
+        d -= Duration::from(0.5);
+        assert_eq!(d, Duration::from(2.5));
+    }
+}

@@ -1,0 +1,160 @@
+//! Distance-δ ancestors and the k-faulty classification
+//! (paper Definitions 4.32 and 4.33, Observation 4.34).
+
+use crate::{LayeredGraph, NodeId};
+
+/// Enumerates the distance-δ ancestors of `(v, ℓ)` (Definition 4.32): all
+/// nodes `(w, ℓ') ≠ (v, ℓ)` with a directed path of length at most `δ` from
+/// `(w, ℓ')` to `(v, ℓ)` in `G`.
+///
+/// Because every edge of `G` advances exactly one layer, a path from
+/// `(w, ℓ-j)` to `(v, ℓ)` has length exactly `j` and exists iff
+/// `d_H(w, v) ≤ j` (in each step the base-graph coordinate moves by at most
+/// one hop).
+///
+/// # Examples
+///
+/// ```
+/// use trix_topology::{distance_ancestors, BaseGraph, LayeredGraph};
+///
+/// let g = LayeredGraph::new(BaseGraph::cycle(7), 5);
+/// let anc = distance_ancestors(&g, g.node(3, 4), 2);
+/// // Layer 3: nodes within distance 1 of v=3 (3 nodes);
+/// // layer 2: nodes within distance 2 (5 nodes).
+/// assert_eq!(anc.len(), 3 + 5);
+/// ```
+pub fn distance_ancestors(g: &LayeredGraph, node: NodeId, delta: usize) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let v = node.v as usize;
+    for j in 1..=delta.min(node.layer as usize) {
+        let layer = node.layer as usize - j;
+        for w in 0..g.width() {
+            if g.base().distance(w, v) as usize <= j {
+                out.push(NodeId::new(w as u32, layer as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Computes the distance-δ k-faulty value of `node` (Definition 4.33): the
+/// minimal `k ∈ ℕ` such that at most `k` of the distance-`(k+1)·δ` ancestors
+/// of `node` are faulty.
+///
+/// `is_faulty` is indexed by [`LayeredGraph::node_index`].
+///
+/// The value is bounded above by the total number of faults, so the search
+/// terminates.
+///
+/// # Panics
+///
+/// Panics if `is_faulty.len() != g.node_count()` or `delta == 0`.
+pub fn distance_k_faulty(
+    g: &LayeredGraph,
+    node: NodeId,
+    delta: usize,
+    is_faulty: &[bool],
+) -> usize {
+    assert_eq!(is_faulty.len(), g.node_count(), "fault vector size mismatch");
+    assert!(delta > 0, "delta must be positive");
+    let mut k = 0usize;
+    loop {
+        let reach = (k + 1) * delta;
+        let faulty_count = distance_ancestors(g, node, reach)
+            .into_iter()
+            .filter(|&a| is_faulty[g.node_index(a)])
+            .count();
+        if faulty_count <= k {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// The maximum distance-δ k-faulty value over all nodes on layers ≥ 1.
+///
+/// Observation 4.34: with iid failure probability `p ∈ o(n^{-1/2})` and
+/// `δ ≤ n^{1/12}`, this maximum is at most 2 with probability `1 − o(1)`.
+/// The Theorem 1.3 experiments verify exactly this statistic.
+pub fn max_k_faulty(g: &LayeredGraph, delta: usize, is_faulty: &[bool]) -> usize {
+    g.nodes()
+        .filter(|n| n.layer > 0)
+        .map(|n| distance_k_faulty(g, n, delta, is_faulty))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BaseGraph;
+
+    fn grid() -> LayeredGraph {
+        LayeredGraph::new(BaseGraph::cycle(9), 7)
+    }
+
+    #[test]
+    fn ancestors_respect_distance_cone() {
+        let g = grid();
+        let node = g.node(4, 6);
+        let anc = distance_ancestors(&g, node, 3);
+        for a in &anc {
+            let j = (node.layer - a.layer) as usize;
+            assert!((1..=3).contains(&j));
+            assert!(g.base().distance(a.v as usize, 4) as usize <= j);
+        }
+        // Cone sizes on a cycle: layer 5 -> 3 nodes, layer 4 -> 5, layer 3 -> 7.
+        assert_eq!(anc.len(), 3 + 5 + 7);
+    }
+
+    #[test]
+    fn ancestors_clip_at_layer_zero() {
+        let g = grid();
+        // delta = 10 exceeds the node's layer; cone is clipped at layer 0.
+        let anc = distance_ancestors(&g, g.node(0, 6), 10);
+        assert!(anc.iter().all(|a| a.layer <= 5));
+        // Layer 0 is 6 hops back; 6 >= diameter (4) so the whole layer is in
+        // the cone.
+        let layer0 = anc.iter().filter(|a| a.layer == 0).count();
+        assert_eq!(layer0, 9);
+        // Layer 5 is 1 hop back: only the 3 nodes within base distance 1.
+        let layer5 = anc.iter().filter(|a| a.layer == 5).count();
+        assert_eq!(layer5, 3);
+    }
+
+    #[test]
+    fn zero_faults_gives_k_zero() {
+        let g = grid();
+        let faults = vec![false; g.node_count()];
+        assert_eq!(max_k_faulty(&g, 2, &faults), 0);
+    }
+
+    #[test]
+    fn single_fault_in_cone_gives_k_one() {
+        let g = grid();
+        let mut faults = vec![false; g.node_count()];
+        // Direct predecessor of (4, 6).
+        faults[g.node_index(g.node(4, 5))] = true;
+        assert_eq!(distance_k_faulty(&g, g.node(4, 6), 2, &faults), 1);
+        // A node far away in the base graph is unaffected at small delta.
+        assert_eq!(distance_k_faulty(&g, g.node(0, 6), 1, &faults), 0);
+    }
+
+    #[test]
+    fn clustered_faults_raise_k() {
+        let g = grid();
+        let mut faults = vec![false; g.node_count()];
+        for l in 3..=5 {
+            faults[g.node_index(g.node(4, l))] = true;
+        }
+        let k = distance_k_faulty(&g, g.node(4, 6), 1, &faults);
+        assert!(k >= 2, "three stacked faults must give k >= 2, got {k}");
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn rejects_wrong_fault_vector() {
+        let g = grid();
+        let _ = distance_k_faulty(&g, g.node(0, 1), 1, &[false; 3]);
+    }
+}

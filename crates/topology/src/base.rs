@@ -1,0 +1,381 @@
+//! Base graphs `H` (paper §2, Figure 2).
+
+use std::collections::VecDeque;
+
+/// A simple, connected, undirected base graph `H = (V, E)`.
+///
+/// The Gradient TRIX algorithm requires minimum degree 2 (each node of the
+/// layered graph then has at least three predecessors, enough to out-vote a
+/// single faulty one). Constructors that can produce lower-degree graphs
+/// (e.g. [`BaseGraph::path`]) are provided for baselines and negative tests;
+/// [`BaseGraph::min_degree`] and [`BaseGraph::validate_for_gcs`] make the
+/// requirement checkable.
+///
+/// Nodes are identified by `usize` indices `0..node_count()`. Neighbor lists
+/// are kept sorted so that iteration order — and therefore every simulation —
+/// is deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaseGraph {
+    adjacency: Vec<Vec<usize>>,
+    /// All-pairs hop distances, row-major; `usize::MAX` = unreachable.
+    distances: Vec<u32>,
+    diameter: u32,
+}
+
+impl BaseGraph {
+    /// Builds a base graph from an undirected edge list over `n` nodes.
+    ///
+    /// Self-loops and duplicate edges are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, an endpoint is out of range, an edge is a
+    /// self-loop or duplicated, or the graph is disconnected.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        assert!(n > 0, "base graph must have at least one node");
+        let mut adjacency = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge endpoint out of range: ({a}, {b})");
+            assert_ne!(a, b, "self-loops are not allowed");
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+            let len_before = list.len();
+            list.dedup();
+            assert_eq!(len_before, list.len(), "duplicate edge in base graph");
+        }
+        let (distances, diameter) = all_pairs_bfs(&adjacency);
+        assert!(
+            diameter != u32::MAX,
+            "base graph must be connected"
+        );
+        Self {
+            adjacency,
+            distances,
+            diameter,
+        }
+    }
+
+    /// The paper's base graph (Figure 2): a line of `line_len` nodes whose
+    /// two endpoints are replicated to guarantee minimum degree 2.
+    ///
+    /// Layout (indices): `0` and `1` are the two copies of the left end,
+    /// `2 ..= line_len - 1` are the middle nodes of the line (if any), and
+    /// the last two indices are the two copies of the right end. The two
+    /// copies of each end are adjacent to each other and both to the nearest
+    /// middle node (or, for `line_len == 2`, to both copies of the other
+    /// end); middle nodes form a path.
+    ///
+    /// `line_len` counts the underlying line *including* its endpoints, so
+    /// the resulting graph has `line_len + 2` nodes and the same diameter
+    /// `line_len − 1` as the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_len < 2`.
+    pub fn line_with_replicated_ends(line_len: usize) -> Self {
+        assert!(line_len >= 2, "need a line of at least 2 nodes");
+        let n = line_len + 2;
+        let (right0, right1) = (n - 2, n - 1);
+        let mut edges = vec![(0, 1), (right0, right1)];
+        if line_len == 2 {
+            // No middle nodes: connect the end-copy pairs directly.
+            edges.extend([(0, right0), (0, right1), (1, right0), (1, right1)]);
+        } else {
+            let (first_mid, last_mid) = (2, line_len - 1);
+            edges.extend([(0, first_mid), (1, first_mid)]);
+            edges.extend([(last_mid, right0), (last_mid, right1)]);
+            for i in first_mid..last_mid {
+                edges.push((i, i + 1));
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// A cycle on `n` nodes (minimum degree 2 for `n ≥ 3`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 3, "cycle needs at least 3 nodes");
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Self::from_edges(n, &edges)
+    }
+
+    /// The `k`-th power of a cycle on `n` nodes: every node is adjacent to
+    /// its `k` nearest neighbors on each side (degree `2k`).
+    ///
+    /// Used by the in-degree-`2f+1` extension experiments (the paper's
+    /// "Bigger Picture" item (3)): tolerating `f` faults per neighborhood
+    /// needs node connectivity `2f+1`, which the `f`-th cycle power
+    /// provides with in-degree `2f+1` in the layered graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `n < 2k + 1`.
+    pub fn cycle_power(n: usize, k: usize) -> Self {
+        assert!(k >= 1, "power must be at least 1");
+        assert!(n > 2 * k, "cycle power needs n >= 2k+1");
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for hop in 1..=k {
+                edges.push((i, (i + hop) % n));
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// A simple path on `n` nodes (minimum degree 1 — *not* valid for the
+    /// fault-tolerant algorithm; used by baselines and negative tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn path(n: usize) -> Self {
+        assert!(n >= 2, "path needs at least 2 nodes");
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Self::from_edges(n, &edges)
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Sorted neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adjacency[v]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Minimum degree over all nodes.
+    pub fn min_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Hop distance `d(v, w)` in `H`.
+    #[inline]
+    pub fn distance(&self, v: usize, w: usize) -> u32 {
+        self.distances[v * self.node_count() + w]
+    }
+
+    /// The diameter `D` of `H`.
+    #[inline]
+    pub fn diameter(&self) -> u32 {
+        self.diameter
+    }
+
+    /// Checks the paper's structural requirement (§2): connected, minimum
+    /// degree ≥ 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated requirement.
+    pub fn validate_for_gcs(&self) -> Result<(), String> {
+        if self.min_degree() < 2 {
+            return Err(format!(
+                "base graph minimum degree is {}, the algorithm requires ≥ 2",
+                self.min_degree()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Iterates over all undirected edges `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adjacency
+            .iter()
+            .enumerate()
+            .flat_map(|(a, ns)| ns.iter().filter(move |&&b| a < b).map(move |&b| (a, b)))
+    }
+}
+
+/// Computes all-pairs BFS distances and the diameter.
+fn all_pairs_bfs(adjacency: &[Vec<usize>]) -> (Vec<u32>, u32) {
+    let n = adjacency.len();
+    let mut distances = vec![u32::MAX; n * n];
+    let mut diameter = 0u32;
+    let mut queue = VecDeque::new();
+    for src in 0..n {
+        let row = &mut distances[src * n..(src + 1) * n];
+        row[src] = 0;
+        queue.clear();
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = row[u];
+            for &w in &adjacency[u] {
+                if row[w] == u32::MAX {
+                    row[w] = du + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        for &dist in row.iter() {
+            if dist == u32::MAX {
+                return (distances, u32::MAX);
+            }
+            diameter = diameter.max(dist);
+        }
+    }
+    (distances, diameter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_with_replicated_ends_structure() {
+        // interior = 4: line a-b-c-d, ends a and d replicated.
+        let g = BaseGraph::line_with_replicated_ends(4);
+        assert_eq!(g.node_count(), 6);
+        assert!(g.min_degree() >= 2);
+        assert!(g.validate_for_gcs().is_ok());
+        // End copies are adjacent to each other and the first interior node.
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        // Node next to the boundary has degree 3.
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.degree(3), 3);
+        assert_eq!(g.neighbors(3), &[2, 4, 5]);
+        assert_eq!(g.neighbors(4), &[3, 5]);
+        assert_eq!(g.neighbors(5), &[3, 4]);
+    }
+
+    #[test]
+    fn line_with_replicated_ends_smallest() {
+        let g = BaseGraph::line_with_replicated_ends(2);
+        // Line a-b with both ends replicated: K4.
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.min_degree(), 3);
+        assert_eq!(g.diameter(), 1);
+    }
+
+    #[test]
+    fn line_diameter_matches_underlying_line() {
+        for line_len in [2usize, 3, 5, 10, 33] {
+            let g = BaseGraph::line_with_replicated_ends(line_len);
+            assert_eq!(g.diameter() as usize, line_len - 1, "line_len={line_len}");
+        }
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let g = BaseGraph::cycle(8);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.min_degree(), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.diameter(), 4);
+        assert_eq!(g.distance(0, 4), 4);
+        assert_eq!(g.distance(0, 7), 1);
+        assert_eq!(g.edge_count(), 8);
+    }
+
+    #[test]
+    fn cycle_power_structure() {
+        let g = BaseGraph::cycle_power(9, 2);
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.min_degree(), 4);
+        assert_eq!(g.max_degree(), 4);
+        assert!(g.neighbors(0).contains(&1));
+        assert!(g.neighbors(0).contains(&2));
+        assert!(g.neighbors(0).contains(&7));
+        assert!(g.neighbors(0).contains(&8));
+        assert!(!g.neighbors(0).contains(&3));
+        // Power 1 is the plain cycle.
+        assert_eq!(BaseGraph::cycle_power(7, 1), BaseGraph::cycle(7));
+        // Diameter shrinks by the power factor.
+        assert_eq!(BaseGraph::cycle_power(12, 2).diameter(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2k+1")]
+    fn cycle_power_rejects_small_n() {
+        let _ = BaseGraph::cycle_power(4, 2);
+    }
+
+    #[test]
+    fn path_is_flagged_invalid_for_gcs() {
+        let g = BaseGraph::path(5);
+        assert_eq!(g.min_degree(), 1);
+        assert!(g.validate_for_gcs().is_err());
+        assert_eq!(g.diameter(), 4);
+    }
+
+    #[test]
+    fn distances_are_symmetric_and_triangle() {
+        let g = BaseGraph::line_with_replicated_ends(7);
+        let n = g.node_count();
+        for a in 0..n {
+            assert_eq!(g.distance(a, a), 0);
+            for b in 0..n {
+                assert_eq!(g.distance(a, b), g.distance(b, a));
+                for c in 0..n {
+                    assert!(g.distance(a, c) <= g.distance(a, b) + g.distance(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edges_iterator_matches_edge_count() {
+        let g = BaseGraph::line_with_replicated_ends(5);
+        assert_eq!(g.edges().count(), g.edge_count());
+        for (a, b) in g.edges() {
+            assert!(a < b);
+            assert!(g.neighbors(a).contains(&b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let _ = BaseGraph::from_edges(2, &[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate_edge() {
+        let _ = BaseGraph::from_edges(2, &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn rejects_disconnected() {
+        let _ = BaseGraph::from_edges(4, &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_for_determinism() {
+        let g = BaseGraph::from_edges(4, &[(3, 0), (0, 2), (2, 1), (1, 3), (0, 1)]);
+        for v in 0..4 {
+            let ns = g.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

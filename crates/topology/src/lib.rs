@@ -1,0 +1,51 @@
+//! Graph topologies for the Gradient TRIX reproduction.
+//!
+//! The paper (§2) builds its synchronization network `G` from a *base graph*
+//! `H = (V, E)` of minimum degree 2 and diameter `D`:
+//!
+//! * every layer `ℓ ∈ ℕ` is a copy `V_ℓ` of `V`;
+//! * node `(v, ℓ)` has outgoing edges to `(v, ℓ+1)` and to `(w, ℓ+1)` for
+//!   every `{v, w} ∈ E`.
+//!
+//! The recommended base graph for the VLSI setting is a **line with
+//! replicated endpoints** (paper Figure 2), which keeps the minimum degree at
+//! 2 without the long wrap-around wire a cycle would need. Most nodes of `G`
+//! then have in- and out-degree 3, a few have 4 (paper Figure 3).
+//!
+//! This crate provides:
+//!
+//! * [`BaseGraph`] plus constructors ([`BaseGraph::line_with_replicated_ends`],
+//!   [`BaseGraph::cycle`], [`BaseGraph::path`], [`BaseGraph::from_edges`]),
+//!   BFS distances and diameter;
+//! * [`LayeredGraph`] — the DAG `G`, with stable edge indices for per-edge
+//!   delay assignment;
+//! * distance-δ ancestor enumeration and the *distance-δ k-faulty*
+//!   classification (Definitions 4.32/4.33), used by the Theorem 1.3
+//!   experiments;
+//! * [`HexGrid`] — the HEX topology of Dolev et al. (DFL+16), used as a
+//!   baseline in Table 1 / Figure 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use trix_topology::{BaseGraph, LayeredGraph};
+//!
+//! let base = BaseGraph::line_with_replicated_ends(6);
+//! assert!(base.min_degree() >= 2);
+//! let g = LayeredGraph::new(base, 10);
+//! let preds: Vec<_> = g.predecessors(g.node(1, 3)).collect();
+//! assert_eq!(preds.len(), g.base().degree(3) + 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ancestors;
+mod base;
+mod hex;
+mod layered;
+
+pub use ancestors::{distance_ancestors, distance_k_faulty, max_k_faulty};
+pub use base::BaseGraph;
+pub use hex::{HexGrid, HexNodeId};
+pub use layered::{EdgeId, LayeredGraph, NodeId};

@@ -1,0 +1,316 @@
+//! `trix` — scenario runner for the Gradient TRIX reproduction.
+//!
+//! ```text
+//! trix run        --width 32 --layers 32 --pulses 4 --seed 1 [--faults 3]
+//!                 [--behavior silent|late|early|jitter|two-faced]
+//!                 [--adversarial] [--chart]
+//! trix stabilize  --width 6 --seed 1 [--spurious 40] [--dead 1]
+//! trix compare    --width 32
+//! ```
+//!
+//! Everything is deterministic in `--seed`.
+
+use gradient_trix::analysis::{
+    ascii_chart, full_local_skew, global_skew, max_intra_layer_skew, skew_by_layer, theory,
+};
+use gradient_trix::baselines::NaiveTrixRule;
+use gradient_trix::core::{
+    check_pulse_interval, GradientTrixRule, GridNodeConfig, Layer0Line, Params,
+};
+use gradient_trix::faults::{sample_one_local, scrambled_network, FaultBehavior, FaultySendModel};
+use gradient_trix::sim::{
+    run_dataflow, CorrectSends, OffsetLayer0, Rng, StaticEnvironment,
+};
+use gradient_trix::time::{Duration, Time};
+use gradient_trix::topology::{BaseGraph, EdgeId, LayeredGraph, NodeId};
+
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Self {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let key = raw[i].trim_start_matches("--").to_owned();
+            let value = raw
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned();
+            if value.is_some() {
+                i += 1;
+            }
+            flags.push((key, value));
+            i += 1;
+        }
+        Self { flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == key)
+    }
+}
+
+fn params() -> Params {
+    Params::with_standard_lambda(Duration::from(2000.0), Duration::from(1.0), 1.0001)
+}
+
+fn behavior_for(name: &str, kappa: Duration, seed: u64) -> FaultBehavior {
+    match name {
+        "silent" => FaultBehavior::Silent,
+        "late" => FaultBehavior::Shift(kappa * 15.0),
+        "early" => FaultBehavior::Shift(kappa * -15.0),
+        "jitter" => FaultBehavior::Jitter {
+            amplitude: kappa * 6.0,
+            seed,
+        },
+        "two-faced" => FaultBehavior::TwoFaced {
+            toward_lower: kappa * -8.0,
+            toward_higher: kappa * 8.0,
+        },
+        other => {
+            eprintln!("unknown behavior '{other}' (silent|late|early|jitter|two-faced)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_run(args: &Args) {
+    let p = params();
+    let width = args.num("width", 32usize);
+    let layers = args.num("layers", width);
+    let pulses = args.num("pulses", 4usize);
+    let seed = args.num("seed", 1u64);
+    let fault_count = args.num("faults", 0usize);
+    let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(width), layers);
+
+    let mut rng = Rng::seed_from(seed);
+    let env = if args.has("adversarial") {
+        // Half-fast/half-slow split (the Figure 1 pattern).
+        let split = g.width() / 2;
+        let mut delays = vec![p.d(); g.edge_count()];
+        for n in g.nodes().filter(|n| n.layer > 0) {
+            if (n.v as usize) < split {
+                for (_, EdgeId(e)) in g.predecessors(n) {
+                    delays[e] = p.d() - p.u();
+                }
+            }
+        }
+        StaticEnvironment::new(
+            &g,
+            delays,
+            vec![gradient_trix::time::AffineClock::PERFECT; g.node_count()],
+        )
+    } else {
+        StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng)
+    };
+    let layer0 = Layer0Line::random_for_line(&p, g.width(), &mut rng);
+
+    // Faults: either an explicit count (spread across the grid) or a
+    // probability via --p-fail.
+    let mut model = FaultySendModel::new();
+    if let Some(prob) = args.get("p-fail").and_then(|v| v.parse::<f64>().ok()) {
+        let (positions, _) = sample_one_local(&g, prob, 1, &mut rng);
+        let mut sorted: Vec<NodeId> = positions.into_iter().collect();
+        sorted.sort();
+        for (i, n) in sorted.into_iter().enumerate() {
+            let name = ["silent", "late", "early", "jitter"][i % 4];
+            model.insert(n, behavior_for(name, p.kappa(), seed));
+        }
+    } else {
+        let behavior = args.get("behavior").unwrap_or("silent");
+        for i in 0..fault_count {
+            let v = (3 + 5 * i) % g.width();
+            let layer = 1 + (2 * i) % (layers - 1);
+            model.insert(g.node(v, layer), behavior_for(behavior, p.kappa(), seed));
+        }
+    }
+    let fault_list: Vec<NodeId> = model.faulty_nodes().collect();
+    println!(
+        "grid {width}×{layers} ({} nodes, D = {}), {} faults, seed {seed}",
+        g.node_count(),
+        g.base().diameter(),
+        fault_list.len()
+    );
+
+    let rule = GradientTrixRule::new(p);
+    let trace = run_dataflow(&g, &env, &layer0, &rule, &model, pulses);
+
+    let local = max_intra_layer_skew(&g, &trace, 0..pulses);
+    let full = full_local_skew(&g, &trace, 0..pulses);
+    let bound = theory::thm_1_1_bound(&p, g.base().diameter());
+    println!("local skew (intra-layer): {:.3}", local.as_f64());
+    println!("full local skew:          {:.3}", full.as_f64());
+    if let Some(gs) = global_skew(&g, &trace, pulses - 1, layers - 1) {
+        println!("global skew (last layer): {:.3}", gs.as_f64());
+    }
+    println!(
+        "Thm 1.1 bound:            {:.3}  (measured/bound = {:.3})",
+        bound.as_f64(),
+        local.as_f64() / bound.as_f64()
+    );
+    let violations = check_pulse_interval(&g, &trace, &p, 0..pulses, 2.0);
+    println!("Cor 4.29 violations @2κ:  {}", violations.len());
+
+    if args.has("chart") {
+        let gt_series = skew_by_layer(&g, &trace, pulses - 1);
+        let naive = run_dataflow(
+            &g,
+            &env,
+            &OffsetLayer0::synchronized(p.lambda().as_f64(), g.width()),
+            &NaiveTrixRule::new(),
+            &CorrectSends,
+            1,
+        );
+        let naive_series = skew_by_layer(&g, &naive, 0);
+        println!(
+            "\n{}",
+            ascii_chart(
+                "local skew by layer",
+                &[("gradient-trix", &gt_series), ("naive-trix", &naive_series)],
+                12,
+                64,
+            )
+        );
+    }
+}
+
+fn cmd_stabilize(args: &Args) {
+    let p = params();
+    let width = args.num("width", 6usize);
+    let seed = args.num("seed", 1u64);
+    let spurious = args.num("spurious", 40usize);
+    let dead_count = args.num("dead", 0usize);
+    let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(width), width);
+
+    let mut rng = Rng::seed_from(seed);
+    let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+    let cfg = GridNodeConfig::standard(p, g.base().diameter());
+    let permanent: std::collections::HashSet<NodeId> = (0..dead_count)
+        .map(|i| g.node((2 + 4 * i) % g.width(), 1 + i % (width - 1)))
+        .collect();
+    let source_pulses = (3 * width) as u64;
+    let mut net = scrambled_network(
+        &g,
+        &p,
+        &env,
+        cfg,
+        source_pulses,
+        spurious,
+        &permanent,
+        &mut rng,
+    );
+    net.run(Time::from(
+        (source_pulses as f64 + width as f64 + 4.0) * p.lambda().as_f64(),
+    ));
+    println!(
+        "scrambled {}-node grid with {} spurious messages and {} dead nodes",
+        g.node_count(),
+        spurious,
+        permanent.len()
+    );
+    let by_node = net.broadcasts_by_node();
+    let lambda = p.lambda().as_f64();
+    for layer in 1..g.layer_count() {
+        let mut worst = 0usize;
+        for v in 0..g.width() {
+            let node = g.node(v, layer);
+            if permanent.contains(&node) {
+                continue;
+            }
+            let times = &by_node[net.index.engine_id(node)];
+            let gaps: Vec<f64> = times.windows(2).map(|w| (w[1] - w[0]).as_f64()).collect();
+            let end = gaps.len().saturating_sub(3);
+            let mut first = end;
+            for i in (0..end).rev() {
+                if (gaps[i] - lambda).abs() <= p.kappa().as_f64() {
+                    first = i;
+                } else {
+                    break;
+                }
+            }
+            worst = worst.max(first);
+        }
+        println!("layer {layer:>2}: stabilized by pulse {worst}");
+    }
+    println!(
+        "budget (Θ(√n) = layers + D): {}",
+        g.layer_count() + g.base().diameter() as usize
+    );
+}
+
+fn cmd_compare(args: &Args) {
+    let width = args.num("width", 32usize);
+    let table = trix_bench_table(width);
+    println!("{table}");
+}
+
+/// Re-derives the comparison locally to avoid a dependency on trix-bench.
+fn trix_bench_table(width: usize) -> String {
+    let p = params();
+    let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(width), width);
+    let split = g.width() / 2;
+    let mut delays = vec![p.d(); g.edge_count()];
+    for n in g.nodes().filter(|n| n.layer > 0) {
+        if (n.v as usize) < split {
+            for (_, EdgeId(e)) in g.predecessors(n) {
+                delays[e] = p.d() - p.u();
+            }
+        }
+    }
+    let env = StaticEnvironment::new(
+        &g,
+        delays,
+        vec![gradient_trix::time::AffineClock::PERFECT; g.node_count()],
+    );
+    let layer0 = OffsetLayer0::synchronized(p.lambda().as_f64(), g.width());
+    let naive = run_dataflow(&g, &env, &layer0, &NaiveTrixRule::new(), &CorrectSends, 1);
+    let gt = run_dataflow(
+        &g,
+        &env,
+        &layer0,
+        &GradientTrixRule::new(p),
+        &CorrectSends,
+        1,
+    );
+    let ns = skew_by_layer(&g, &naive, 0);
+    let gs = skew_by_layer(&g, &gt, 0);
+    ascii_chart(
+        &format!("adversarial delays, width {width}: naive vs gradient TRIX"),
+        &[("naive-trix", &ns), ("gradient-trix", &gs)],
+        14,
+        64,
+    )
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().map(String::as_str) else {
+        eprintln!("usage: trix <run|stabilize|compare> [flags]  (see source header)");
+        std::process::exit(2);
+    };
+    let args = Args::parse(&raw[1..]);
+    match cmd {
+        "run" => cmd_run(&args),
+        "stabilize" => cmd_stabilize(&args),
+        "compare" => cmd_compare(&args),
+        other => {
+            eprintln!("unknown command '{other}' (run|stabilize|compare)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Determinism guarantees: identical seeds must produce bit-identical
+//! executions on both engines — the foundation for reproducible
+//! experiments.
+
+use gradient_trix::core::{GradientTrixRule, GridNodeConfig, GridNetwork, Layer0Line, Params};
+use gradient_trix::faults::{FaultBehavior, FaultySendModel};
+use gradient_trix::sim::{run_dataflow, Rng, StaticEnvironment};
+use gradient_trix::time::{Duration, Time};
+use gradient_trix::topology::{BaseGraph, LayeredGraph};
+
+fn params() -> Params {
+    Params::with_standard_lambda(Duration::from(2000.0), Duration::from(1.0), 1.0001)
+}
+
+#[test]
+fn dataflow_is_bit_reproducible() {
+    let p = params();
+    let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(12), 12);
+    let run = || {
+        let mut rng = Rng::seed_from(0xABCD);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let layer0 = Layer0Line::random_for_line(&p, g.width(), &mut rng);
+        run_dataflow(&g, &env, &layer0, &GradientTrixRule::new(p), &gradient_trix::sim::CorrectSends, 4)
+    };
+    let a = run();
+    let b = run();
+    for k in 0..4 {
+        for n in g.nodes() {
+            assert_eq!(a.time(k, n), b.time(k, n), "divergence at {n} pulse {k}");
+        }
+    }
+}
+
+#[test]
+fn dataflow_with_faults_is_bit_reproducible() {
+    let p = params();
+    let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(10), 10);
+    let model = FaultySendModel::from_faults([
+        (g.node(4, 3), FaultBehavior::Silent),
+        (
+            g.node(7, 6),
+            FaultBehavior::Jitter {
+                amplitude: p.kappa() * 5.0,
+                seed: 17,
+            },
+        ),
+    ]);
+    let run = || {
+        let mut rng = Rng::seed_from(99);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let layer0 = Layer0Line::random_for_line(&p, g.width(), &mut rng);
+        run_dataflow(&g, &env, &layer0, &GradientTrixRule::new(p), &model, 3)
+    };
+    let a = run();
+    let b = run();
+    for k in 0..3 {
+        for n in g.nodes() {
+            assert_eq!(a.time(k, n), b.time(k, n));
+        }
+    }
+}
+
+#[test]
+fn des_is_bit_reproducible() {
+    let p = params();
+    let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(5), 5);
+    let run = || {
+        let mut rng = Rng::seed_from(5);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let cfg = GridNodeConfig::standard(p, g.base().diameter());
+        let mut net = GridNetwork::build(&g, &p, &env, cfg, 12, &mut rng, |_, _| None);
+        net.run(Time::from(1e9));
+        net.des
+            .broadcasts()
+            .iter()
+            .map(|b| (b.node, b.time))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let p = params();
+    let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(8), 8);
+    let run = |seed: u64| {
+        let mut rng = Rng::seed_from(seed);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let layer0 = Layer0Line::random_for_line(&p, g.width(), &mut rng);
+        run_dataflow(&g, &env, &layer0, &GradientTrixRule::new(p), &gradient_trix::sim::CorrectSends, 1)
+    };
+    let a = run(1);
+    let b = run(2);
+    let differs = g
+        .nodes()
+        .any(|n| a.time(0, n) != b.time(0, n));
+    assert!(differs, "different seeds must yield different executions");
+}
