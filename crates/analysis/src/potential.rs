@@ -133,10 +133,7 @@ mod tests {
         let (g, trace) = setup(3.0);
         let p = params();
         // Max difference = 4 hops * 3 = 12 at distance discount 0.
-        assert_eq!(
-            psi(&g, &trace, &p, 0, 0, 0),
-            Some(Duration::from(12.0))
-        );
+        assert_eq!(psi(&g, &trace, &p, 0, 0, 0), Some(Duration::from(12.0)));
     }
 
     #[test]

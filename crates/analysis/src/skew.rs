@@ -65,7 +65,9 @@ pub fn inter_layer_skew(
             if trace.is_faulty(succ) {
                 continue;
             }
-            let Some(t_to) = trace.time(k, succ) else { continue };
+            let Some(t_to) = trace.time(k, succ) else {
+                continue;
+            };
             let skew = (t_from - t_to).abs();
             worst = Some(worst.map_or(skew, |w| w.max(skew)));
         }
@@ -129,7 +131,9 @@ pub fn global_skew(
         if trace.is_faulty(node) {
             continue;
         }
-        let Some(t) = trace.time(k, node) else { continue };
+        let Some(t) = trace.time(k, node) else {
+            continue;
+        };
         min = Some(min.map_or(t, |m: trix_time::Time| m.min(t)));
         max = Some(max.map_or(t, |m: trix_time::Time| m.max(t)));
     }
@@ -146,12 +150,7 @@ pub fn skew_by_layer(g: &LayeredGraph, trace: &PulseTrace, k: usize) -> Vec<Opti
 
 /// The pulse-time difference between a specific adjacent pair (diagnostic
 /// helper for targeted experiments).
-pub fn pair_skew(
-    trace: &PulseTrace,
-    k: usize,
-    a: NodeId,
-    b: NodeId,
-) -> Option<Duration> {
+pub fn pair_skew(trace: &PulseTrace, k: usize, a: NodeId, b: NodeId) -> Option<Duration> {
     Some((trace.time(k, a)? - trace.time(k, b)?).abs())
 }
 

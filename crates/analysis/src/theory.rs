@@ -90,10 +90,7 @@ mod tests {
         let a = psi_level_bound(&p, 100, 1).as_f64();
         let b = psi_level_bound(&p, 100, 2).as_f64();
         assert!((a / b - 2.0).abs() < 1e-12);
-        assert_eq!(
-            psi_level_bound(&p, 100, 1),
-            cor_4_23_psi1_bound(&p, 100)
-        );
+        assert_eq!(psi_level_bound(&p, 100, 1), cor_4_23_psi1_bound(&p, 100));
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl HexEnvironment {
 
     /// The delay of a link.
     pub fn delay(&self, from: HexNodeId, to: HexNodeId) -> Duration {
-        self.delays.get(&(from, to)).copied().unwrap_or(self.default)
+        self.delays
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default)
     }
 }
 
@@ -150,10 +153,10 @@ pub fn run_hex_pulse(
     let mut seq = 0u64;
 
     let fire = |node: HexNodeId,
-                    at: Time,
-                    times: &mut Vec<Option<Time>>,
-                    heap: &mut BinaryHeap<Reverse<Arrival>>,
-                    seq: &mut u64| {
+                at: Time,
+                times: &mut Vec<Option<Time>>,
+                heap: &mut BinaryHeap<Reverse<Arrival>>,
+                seq: &mut u64| {
         let idx = grid.node_index(node);
         if times[idx].is_some() {
             return;

@@ -228,8 +228,20 @@ mod tests {
     fn deterministic_under_seed() {
         let cfg = cfg();
         let offsets: Vec<f64> = (0..10).map(|i| i as f64).collect();
-        let a = run_lynch_welch(&cfg, &offsets, Duration::from(5.0), 5, &mut Rng::seed_from(2));
-        let b = run_lynch_welch(&cfg, &offsets, Duration::from(5.0), 5, &mut Rng::seed_from(2));
+        let a = run_lynch_welch(
+            &cfg,
+            &offsets,
+            Duration::from(5.0),
+            5,
+            &mut Rng::seed_from(2),
+        );
+        let b = run_lynch_welch(
+            &cfg,
+            &offsets,
+            Duration::from(5.0),
+            5,
+            &mut Rng::seed_from(2),
+        );
         assert_eq!(a.skew_per_round, b.skew_per_round);
     }
 }

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
-use trix_core::{correction, CorrectionConfig, GradientTrixRule, GridNodeConfig, GridNetwork, Layer0Line, Params};
+use trix_core::{
+    correction, CorrectionConfig, GradientTrixRule, GridNetwork, GridNodeConfig, Layer0Line, Params,
+};
 use trix_sim::{run_dataflow, CorrectSends, Rng, StaticEnvironment};
 use trix_time::{Duration, LocalTime, Time};
 use trix_topology::{BaseGraph, LayeredGraph};
@@ -72,8 +74,7 @@ fn bench_des(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut rng = Rng::seed_from(7);
-                let env =
-                    StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+                let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
                 let cfg = GridNodeConfig::standard(p, g.base().diameter());
                 GridNetwork::build(&g, &p, &env, cfg, 10, &mut rng, |_, _| None)
             },

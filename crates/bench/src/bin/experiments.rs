@@ -48,8 +48,7 @@ fn main() {
         }
         if let Some(dir) = &out_dir {
             let stem = format!("{dir}/table_{i:02}");
-            std::fs::write(format!("{stem}.md"), table.to_markdown())
-                .expect("write markdown");
+            std::fs::write(format!("{stem}.md"), table.to_markdown()).expect("write markdown");
             std::fs::write(format!("{stem}.csv"), table.to_csv()).expect("write csv");
         }
     }

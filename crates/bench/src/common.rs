@@ -81,12 +81,8 @@ pub fn split_delay_env(g: &LayeredGraph, params: &Params, split: usize) -> Stati
 
 /// Extension helper for [`split_delay_env`].
 trait TapSetFastHalf {
-    fn tap_set_fast_half(
-        self,
-        g: &LayeredGraph,
-        fast: Duration,
-        split: usize,
-    ) -> StaticEnvironment;
+    fn tap_set_fast_half(self, g: &LayeredGraph, fast: Duration, split: usize)
+        -> StaticEnvironment;
 }
 
 impl TapSetFastHalf for StaticEnvironment {

@@ -49,14 +49,7 @@ fn run_one(f: usize, width: usize, layers: usize, pairs: usize, seed: u64) -> (f
     let skew = max_intra_layer_skew(&g, &trace, 0..pulses).as_f64();
 
     // Fault-free reference on the same grid/rule.
-    let clean = run_dataflow(
-        &g,
-        &env,
-        &layer0,
-        &rule,
-        &trix_sim::CorrectSends,
-        pulses,
-    );
+    let clean = run_dataflow(&g, &env, &layer0, &rule, &trix_sim::CorrectSends, pulses);
     let clean_skew = max_intra_layer_skew(&g, &clean, 0..pulses).as_f64();
     (skew, clean_skew)
 }

@@ -39,7 +39,13 @@ pub fn run_skew_by_layer(width: usize) -> Table {
 
     let mut table = Table::new(
         "Fig 1 (left) — local skew by layer: naive TRIX vs Gradient TRIX, adversarial delays",
-        &["layer", "naive TRIX", "u·layer (predicted)", "Gradient TRIX", "GT bound"],
+        &[
+            "layer",
+            "naive TRIX",
+            "u·layer (predicted)",
+            "Gradient TRIX",
+            "GT bound",
+        ],
     );
     let bound = theory::thm_1_1_bound(&p, g.base().diameter()).as_f64();
     for layer in 0..g.layer_count() {

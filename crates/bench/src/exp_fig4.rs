@@ -73,7 +73,11 @@ mod tests {
             let (trace, env) = run_gradient_trix(&g, &p, &rule, &CorrectSends, 3, seed);
             let report = check_gcs_conditions(&g, &env, &trace, &rule, 0..3);
             assert!(report.checked > 100);
-            assert!(report.all_hold(), "seed {seed}: {:?}", report.violations.first());
+            assert!(
+                report.all_hold(),
+                "seed {seed}: {:?}",
+                report.violations.first()
+            );
         }
     }
 

@@ -64,7 +64,10 @@ fn sawtooth_series<R: PulseRule>(
 /// Runs the ablation over the given jump margins (in multiples of κ).
 pub fn run(width: usize, layers: usize, margins_kappas: &[f64]) -> Table {
     let p = standard_params();
-    assert!(width.is_multiple_of(2), "cycle width must be even for a clean sawtooth");
+    assert!(
+        width.is_multiple_of(2),
+        "cycle width must be even for a clean sawtooth"
+    );
     let g = LayeredGraph::new(BaseGraph::cycle(width), layers);
 
     let mut headers: Vec<String> = vec!["layer".into()];

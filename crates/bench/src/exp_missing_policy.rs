@@ -8,9 +8,7 @@
 
 use crate::common::{run_gradient_trix, square_grid, standard_params};
 use trix_analysis::{fmt_f64, max_intra_layer_skew, Table};
-use trix_core::{
-    check_pulse_interval, CorrectionConfig, GradientTrixRule, MissingNeighborPolicy,
-};
+use trix_core::{check_pulse_interval, CorrectionConfig, GradientTrixRule, MissingNeighborPolicy};
 use trix_faults::{FaultBehavior, FaultySendModel};
 
 /// Runs the policy ablation with `f` silent faults.
@@ -30,9 +28,8 @@ pub fn run(width: usize, f: usize, pulses: usize, seeds: &[u64]) -> Table {
     let positions: Vec<_> = (0..f)
         .map(|i| g.node((2 + 3 * i) % g.width(), 1 + (i * 2) % (g.layer_count() - 1)))
         .collect();
-    let model = FaultySendModel::from_faults(
-        positions.into_iter().map(|n| (n, FaultBehavior::Silent)),
-    );
+    let model =
+        FaultySendModel::from_faults(positions.into_iter().map(|n| (n, FaultBehavior::Silent)));
     for policy in [
         MissingNeighborPolicy::StickToEarlier,
         MissingNeighborPolicy::ClampLiteral,
@@ -72,7 +69,10 @@ mod tests {
         let t = run(12, 3, 2, &[0, 1]);
         let md = t.to_markdown();
         // The last column (4κ slack) must be all zeros for both policies.
-        for line in md.lines().filter(|l| l.starts_with("| Stick") || l.starts_with("| Clamp")) {
+        for line in md
+            .lines()
+            .filter(|l| l.starts_with("| Stick") || l.starts_with("| Clamp"))
+        {
             let cells: Vec<&str> = line.split('|').map(str::trim).collect();
             assert_eq!(cells[cells.len() - 2], "0", "4κ violations in {line}");
         }

@@ -64,7 +64,12 @@ pub fn run(width: usize, layers: usize, amplitude_kappas: f64) -> Table {
 }
 
 /// Layers needed until the skew falls below `target_kappas·κ`.
-pub fn recovery_depth(width: usize, layers: usize, amplitude_kappas: f64, target_kappas: f64) -> Option<usize> {
+pub fn recovery_depth(
+    width: usize,
+    layers: usize,
+    amplitude_kappas: f64,
+    target_kappas: f64,
+) -> Option<usize> {
     let p: Params = standard_params();
     let g = grid(width, layers);
     let env = StaticEnvironment::nominal(&g, p.d());
@@ -77,9 +82,7 @@ pub fn recovery_depth(width: usize, layers: usize, amplitude_kappas: f64, target
     let trace = run_dataflow(&g, &env, &layer0, &rule, &CorrectSends, 1);
     let series = skew_by_layer(&g, &trace, 0);
     let target = target_kappas * p.kappa().as_f64();
-    series
-        .iter()
-        .position(|s| s.is_some_and(|s| s <= target))
+    series.iter().position(|s| s.is_some_and(|s| s <= target))
 }
 
 #[cfg(test)]
@@ -97,7 +100,14 @@ mod tests {
             block: g.width() / 2,
             amplitude: 20.0 * k,
         };
-        let trace = run_dataflow(&g, &env, &layer0, &GradientTrixRule::new(p), &CorrectSends, 1);
+        let trace = run_dataflow(
+            &g,
+            &env,
+            &layer0,
+            &GradientTrixRule::new(p),
+            &CorrectSends,
+            1,
+        );
         let series = skew_by_layer(&g, &trace, 0);
         let at0 = series[0].unwrap();
         let at_end = series[39].unwrap();

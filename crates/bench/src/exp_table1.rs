@@ -56,8 +56,12 @@ pub fn run(widths: &[usize]) -> Table {
         let crashed: HashSet<_> = [hex_grid.node(hex_grid.width() / 2, last / 2)]
             .into_iter()
             .collect();
-        let hex =
-            run_hex_pulse(&hex_grid, &hex_env, &vec![Time::ZERO; hex_grid.width()], &crashed);
+        let hex = run_hex_pulse(
+            &hex_grid,
+            &hex_env,
+            &vec![Time::ZERO; hex_grid.width()],
+            &crashed,
+        );
         let hex_skew = (last / 2 + 1..g.layer_count())
             .filter_map(|l| hex.local_skew(l))
             .map(|d| d.as_f64())

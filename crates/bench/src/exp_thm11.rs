@@ -7,7 +7,9 @@
 //! split-delay environment. Reports the worst intra-layer skew across all
 //! layers and pulses against the bound.
 
-use crate::common::{run_gradient_trix, run_gradient_trix_with_env, split_delay_env, square_grid, standard_params};
+use crate::common::{
+    run_gradient_trix, run_gradient_trix_with_env, split_delay_env, square_grid, standard_params,
+};
 use trix_analysis::{fmt_f64, max_intra_layer_skew, theory, Table};
 use trix_core::GradientTrixRule;
 use trix_sim::CorrectSends;
@@ -68,10 +70,7 @@ mod tests {
             for seed in 0..3 {
                 let (trace, _) = run_gradient_trix(&g, &p, &rule, &CorrectSends, 3, seed);
                 let skew = max_intra_layer_skew(&g, &trace, 0..3);
-                assert!(
-                    skew <= bound,
-                    "w={w} seed={seed}: {skew} > bound {bound}"
-                );
+                assert!(skew <= bound, "w={w} seed={seed}: {skew} > bound {bound}");
             }
         }
     }

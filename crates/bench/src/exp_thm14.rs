@@ -82,9 +82,7 @@ fn drifting_environment(
                 .iter()
                 .map(|d0| {
                     let step = rng.f64_in(-delay_step, delay_step);
-                    Duration::from(
-                        (d0.as_f64() + step).clamp(p.d_min().as_f64(), p.d().as_f64()),
-                    )
+                    Duration::from((d0.as_f64() + step).clamp(p.d_min().as_f64(), p.d().as_f64()))
                 })
                 .collect();
             let clocks: Vec<AffineClock> = prev
@@ -114,7 +112,13 @@ pub fn run(width: usize, pulses: usize, seeds: &[u64]) -> Table {
 
     let mut table = Table::new(
         "Thm 1.4 / Cor 1.5 — full local skew L (intra + inter-layer)",
-        &["variant", "seed", "faults static?", "L measured", "reference 3·4κ(2+log₂D)"],
+        &[
+            "variant",
+            "seed",
+            "faults static?",
+            "L measured",
+            "reference 3·4κ(2+log₂D)",
+        ],
     );
     for &seed in seeds {
         // Theorem 1.4: static faults, static environment.

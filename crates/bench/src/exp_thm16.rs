@@ -71,8 +71,7 @@ pub fn run(widths: &[usize], seeds: &[u64]) -> Table {
             let mut worst: Option<usize> = Some(0);
             for &seed in seeds {
                 let mut rng = Rng::seed_from(seed ^ 0x16);
-                let env =
-                    StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+                let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
                 let cfg = GridNodeConfig::standard(p, g.base().diameter());
                 let permanent: HashSet<_> = if with_fault {
                     [g.node(w / 2, 1)].into_iter().collect()
@@ -80,9 +79,8 @@ pub fn run(widths: &[usize], seeds: &[u64]) -> Table {
                     HashSet::new()
                 };
                 let pulses = (2 * budget + 10) as u64;
-                let mut net = scrambled_network(
-                    &g, &p, &env, cfg, pulses, 40, &permanent, &mut rng,
-                );
+                let mut net =
+                    scrambled_network(&g, &p, &env, cfg, pulses, 40, &permanent, &mut rng);
                 net.run(Time::from(
                     (pulses as f64 + 4.0) * p.lambda().as_f64()
                         + g.layer_count() as f64 * p.lambda().as_f64(),
@@ -95,11 +93,7 @@ pub fn run(widths: &[usize], seeds: &[u64]) -> Table {
                             continue;
                         }
                         let times = &by_node[net.index.engine_id(node)];
-                        let s = stabilization_pulse(
-                            times,
-                            p.lambda().as_f64(),
-                            p.kappa().as_f64(),
-                        );
+                        let s = stabilization_pulse(times, p.lambda().as_f64(), p.kappa().as_f64());
                         worst = match (worst, s) {
                             (Some(a), Some(b)) => Some(a.max(b)),
                             _ => None,
@@ -158,10 +152,8 @@ pub fn run_layer0(width: usize, seeds: &[u64]) -> Table {
             des.inject_delivery(i, i - 1, at);
         }
         let pulses = 3 * width as u64;
-        let mut nodes: Vec<Box<dyn Node>> = vec![Box::new(ClockSourceNode::new(
-            p.lambda(),
-            pulses,
-        ))];
+        let mut nodes: Vec<Box<dyn Node>> =
+            vec![Box::new(ClockSourceNode::new(p.lambda(), pulses))];
         for i in 1..n {
             nodes.push(Box::new(LineForwarderNode::new(&p, i - 1)));
         }
@@ -204,7 +196,16 @@ mod tests {
     fn stabilization_detector() {
         let lambda = 10.0;
         let times: Vec<Time> = [
-            0.0, 7.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 63.0 + 30.0,
+            0.0,
+            7.0,
+            20.0,
+            30.0,
+            40.0,
+            50.0,
+            60.0,
+            70.0,
+            80.0,
+            63.0 + 30.0,
         ]
         .iter()
         .map(|&t| Time::from(t))

@@ -76,7 +76,11 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     ));
     // §6 Theorem 1.1.
     tables.push(exp_thm11::run(
-        if quick { &[8, 16] } else { &[8, 16, 32, 64, 128] },
+        if quick {
+            &[8, 16]
+        } else {
+            &[8, 16, 32, 64, 128]
+        },
         3,
         &seeds,
     ));

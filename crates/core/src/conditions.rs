@@ -80,8 +80,7 @@ pub fn reconstruct_correction(
     if trace.is_faulty(own_pred) {
         return None;
     }
-    let own_arrival =
-        trace.time(k, own_pred)? + env.delay(k, g.own_in_edge(node));
+    let own_arrival = trace.time(k, own_pred)? + env.delay(k, g.own_in_edge(node));
     let mut neighbor_locals = Vec::new();
     for (slot, &x) in g.base().neighbors(node.v as usize).iter().enumerate() {
         let sender = NodeId::new(x as u32, node.layer - 1);
@@ -127,8 +126,7 @@ pub fn check_gcs_conditions(
                 let mut t_min = Time::INFINITY;
                 let mut t_max = Time::from(f64::NEG_INFINITY);
                 for &x in g.base().neighbors(v) {
-                    let Some(t) = trace.time(k, NodeId::new(x as u32, layer as u32 - 1))
-                    else {
+                    let Some(t) = trace.time(k, NodeId::new(x as u32, layer as u32 - 1)) else {
                         continue 'nodes;
                     };
                     t_min = t_min.min(t);
@@ -237,7 +235,9 @@ pub fn check_pulse_interval(
                 if trace.is_faulty(node) {
                     continue;
                 }
-                let Some(t) = trace.time(k, node) else { continue };
+                let Some(t) = trace.time(k, node) else {
+                    continue;
+                };
                 let mut t_min = Time::INFINITY;
                 let mut t_max = Time::from(f64::NEG_INFINITY);
                 let mut any = false;
@@ -245,7 +245,9 @@ pub fn check_pulse_interval(
                     if trace.is_faulty(pred) {
                         continue;
                     }
-                    let Some(tp) = trace.time(k, pred) else { continue };
+                    let Some(tp) = trace.time(k, pred) else {
+                        continue;
+                    };
                     t_min = t_min.min(tp);
                     t_max = t_max.max(tp);
                     any = true;
@@ -279,11 +281,15 @@ mod tests {
         Params::with_standard_lambda(Duration::from(2000.0), Duration::from(1.0), 1.0001)
     }
 
-    fn run(seed: u64) -> (LayeredGraph, StaticEnvironment, PulseTrace, GradientTrixRule) {
-        let g = LayeredGraph::new(
-            trix_topology::BaseGraph::line_with_replicated_ends(8),
-            10,
-        );
+    fn run(
+        seed: u64,
+    ) -> (
+        LayeredGraph,
+        StaticEnvironment,
+        PulseTrace,
+        GradientTrixRule,
+    ) {
+        let g = LayeredGraph::new(trix_topology::BaseGraph::line_with_replicated_ends(8), 10);
         let p = params();
         let mut rng = Rng::seed_from(seed);
         let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
@@ -325,16 +331,14 @@ mod tests {
             for layer in 1..g.layer_count() {
                 for v in 0..g.width() {
                     let node = g.node(v, layer);
-                    let Some(c) = reconstruct_correction(&g, &env, &trace, &rule, k, node)
-                    else {
+                    let Some(c) = reconstruct_correction(&g, &env, &trace, &rule, k, node) else {
                         continue;
                     };
                     let clock = env.clock(k, node);
                     let own_pred = NodeId::new(node.v, node.layer - 1);
-                    let own_arrival = trace.time(k, own_pred).unwrap()
-                        + env.delay(k, g.own_in_edge(node));
-                    let pulse_local =
-                        clock.local_at(own_arrival) + (p.lambda() - p.d()) - c;
+                    let own_arrival =
+                        trace.time(k, own_pred).unwrap() + env.delay(k, g.own_in_edge(node));
+                    let pulse_local = clock.local_at(own_arrival) + (p.lambda() - p.d()) - c;
                     let expected = clock.real_at(pulse_local);
                     let actual = trace.time(k, node).unwrap();
                     assert!(
@@ -354,8 +358,64 @@ mod tests {
         // Yank one node far out of the admissible interval.
         let node = g.node(3, 5);
         let t = trace.time(2, node).unwrap();
-        trace.set_time(2, node, Some(t + Duration::from(500.0)));
+        let tampered = t + Duration::from(500.0);
+        trace.set_time(2, node, Some(tampered));
         let violations = check_pulse_interval(&g, &trace, rule.params(), 0..4, 2.0);
-        assert!(violations.iter().any(|v| v.node == node && v.k == 2));
+        let v = violations
+            .iter()
+            .find(|v| v.node == node && v.k == 2)
+            .expect("tampered node must be reported at the tampered pulse");
+        // The report must carry the offending time and a bound it breaks.
+        assert_eq!(v.t, tampered);
+        assert!(
+            v.t > v.upper,
+            "tampering pushed the pulse past the upper bound"
+        );
+        assert!(v.lower <= v.upper);
+    }
+
+    /// Feeds a known-violating trace to `check_gcs_conditions` and checks
+    /// the reported violation kind and location.
+    ///
+    /// Layer 0 is synchronized except one neighbor pulling 10κ ahead. The
+    /// Figure 5 ablation (`no_jump_damping`) then jumps *past* the damping
+    /// margin: at `(1, 1)` the correction comes out negative while both
+    /// predecessor gaps are zero, violating the jump condition JC at that
+    /// exact node. The published configuration clamps the same jump to 0
+    /// and must stay clean on the identical trace.
+    #[test]
+    fn jump_violation_reports_kind_and_location() {
+        let p = params();
+        let kappa = p.kappa();
+        let g = LayeredGraph::new(trix_topology::BaseGraph::line_with_replicated_ends(4), 2);
+        let env = StaticEnvironment::nominal(&g, p.d());
+        let mut trace = PulseTrace::new(&g, 1);
+        for v in 0..g.width() {
+            trace.set_time(0, g.node(v, 0), Some(Time::from(0.0)));
+        }
+        trace.set_time(0, g.node(2, 0), Some(Time::from(0.0) + kappa * 10.0));
+
+        let ablated = GradientTrixRule::with_config(p, crate::CorrectionConfig::no_jump_damping());
+        let report = check_gcs_conditions(&g, &env, &trace, &ablated, 0..1);
+        assert!(report.checked > 0);
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.node == g.node(1, 1))
+            .expect("ablated rule must violate a condition at the jumping node");
+        assert_eq!(v.condition, Condition::Jump);
+        assert_eq!(v.k, 0);
+        assert!(
+            v.correction < Duration::ZERO,
+            "the offending correction is an undamped backward jump"
+        );
+
+        let paper = GradientTrixRule::new(p);
+        let clean = check_gcs_conditions(&g, &env, &trace, &paper, 0..1);
+        assert!(
+            clean.all_hold(),
+            "published configuration must satisfy the conditions on the same trace: {:?}",
+            clean.violations
+        );
     }
 }

@@ -204,10 +204,12 @@ mod tests {
         );
         // The continuous optimum would be (b+a)/2 = 0; the discrete value
         // stays within 2κ of it.
-        assert!(discrete_delta(Duration::from(-6.0), Duration::from(6.0), k)
-            .abs()
-            .as_f64()
-            <= 2.0);
+        assert!(
+            discrete_delta(Duration::from(-6.0), Duration::from(6.0), k)
+                .abs()
+                .as_f64()
+                <= 2.0
+        );
     }
 
     #[test]
@@ -238,7 +240,13 @@ mod tests {
     #[test]
     fn in_sync_receptions_yield_zero() {
         // All equal: Δ = −κ/2 < 0 ⇒ C = min(0 + 3κ/2, 0) = 0.
-        let c = correction(&p(), lt(0.0), lt(0.0), Some(lt(0.0)), &CorrectionConfig::paper());
+        let c = correction(
+            &p(),
+            lt(0.0),
+            lt(0.0),
+            Some(lt(0.0)),
+            &CorrectionConfig::paper(),
+        );
         assert_eq!(c, Duration::ZERO);
     }
 
@@ -320,7 +328,10 @@ mod tests {
             ..CorrectionConfig::paper()
         };
         // own ≥ min ⇒ b + 3κ/2 > 0 ⇒ C = 0.
-        assert_eq!(correction(&p, lt(10.0 * k), lt(0.0), None, &cfg), Duration::ZERO);
+        assert_eq!(
+            correction(&p, lt(10.0 * k), lt(0.0), None, &cfg),
+            Duration::ZERO
+        );
         // own far before min ⇒ C = b + 3κ/2 < 0.
         let c = correction(&p, lt(-10.0 * k), lt(0.0), None, &cfg);
         assert!((c.as_f64() - (-8.5 * k)).abs() < 1e-9);

@@ -96,19 +96,42 @@ mod tests {
             clocks.push(AffineClock::with_rate(rng.f64_in(1.0, p.theta())).into());
         }
         let mut des = Des::new(clocks);
-        let delay =
-            |rng: &mut Rng| Duration::from(rng.f64_in(p.d_min().as_f64(), p.d().as_f64()));
+        let delay = |rng: &mut Rng| Duration::from(rng.f64_in(p.d_min().as_f64(), p.d().as_f64()));
         let chain_a = |i: usize| 1 + i;
         let chain_b = |i: usize| 1 + len + i;
         let dual = |i: usize| 1 + 2 * len + i;
         for i in 0..len {
             let from_a = if i == 0 { 0 } else { chain_a(i - 1) };
             let from_b = if i == 0 { 0 } else { chain_b(i - 1) };
-            des.add_link(from_a, Link { to: chain_a(i), delay: delay(&mut rng) });
-            des.add_link(from_b, Link { to: chain_b(i), delay: delay(&mut rng) });
+            des.add_link(
+                from_a,
+                Link {
+                    to: chain_a(i),
+                    delay: delay(&mut rng),
+                },
+            );
+            des.add_link(
+                from_b,
+                Link {
+                    to: chain_b(i),
+                    delay: delay(&mut rng),
+                },
+            );
             // Both chains feed the dual forwarder at this position.
-            des.add_link(chain_a(i), Link { to: dual(i), delay: delay(&mut rng) });
-            des.add_link(chain_b(i), Link { to: dual(i), delay: delay(&mut rng) });
+            des.add_link(
+                chain_a(i),
+                Link {
+                    to: dual(i),
+                    delay: delay(&mut rng),
+                },
+            );
+            des.add_link(
+                chain_b(i),
+                Link {
+                    to: dual(i),
+                    delay: delay(&mut rng),
+                },
+            );
         }
         let mut nodes: Vec<Box<dyn Node>> = Vec::with_capacity(n);
         nodes.push(Box::new(ClockSourceNode::new(p.lambda(), 8)));

@@ -63,8 +63,8 @@ mod simplified;
 mod source;
 
 pub use conditions::{
-    check_gcs_conditions, check_pulse_interval, reconstruct_correction, Condition,
-    ConditionReport, ConditionViolation, IntervalViolation,
+    check_gcs_conditions, check_pulse_interval, reconstruct_correction, Condition, ConditionReport,
+    ConditionViolation, IntervalViolation,
 };
 pub use correction::{correction, discrete_delta, CorrectionConfig, MissingNeighborPolicy};
 pub use dual_chain::DualLineForwarderNode;

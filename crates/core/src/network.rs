@@ -149,7 +149,10 @@ impl GridNetwork {
 
         // Node state machines.
         let mut nodes: Vec<Box<dyn Node>> = Vec::with_capacity(index.engine_count());
-        nodes.push(Box::new(ClockSourceNode::new(params.lambda(), source_pulses)));
+        nodes.push(Box::new(ClockSourceNode::new(
+            params.lambda(),
+            source_pulses,
+        )));
         for layer in 0..g.layer_count() {
             for v in 0..g.width() {
                 let id = g.node(v, layer);
@@ -282,8 +285,8 @@ mod tests {
                 .min_by(|a, b| (a - reference).abs().total_cmp(&(b - reference).abs()))
                 .unwrap()
         };
-        let bound = p.fault_free_local_skew_bound(g.base().diameter()).as_f64()
-            + p.lambda().as_f64() / 2.0;
+        let bound =
+            p.fault_free_local_skew_bound(g.base().diameter()).as_f64() + p.lambda().as_f64() / 2.0;
         for layer in 1..g.layer_count() {
             for (a, b) in g.base().edges() {
                 let ta = nearest(&by_node[net.index.engine_id(g.node(a, layer))]);

@@ -195,9 +195,7 @@ impl GradientTrixNode {
         // for a late own-predecessor pulse, `term2` for late neighbors.
         let term1 = self.h_max.map(|m| m + p.kappa() * 1.5 + p.theta_kappa());
         let window = (2.0 * self.cfg.skew_estimate + p.u()) * p.theta();
-        let term2 = self
-            .h_own
-            .map(|o| o.max(h_min) + window + p.kappa() * 2.0);
+        let term2 = self.h_own.map(|o| o.max(h_min) + window + p.kappa() * 2.0);
         match (term1, term2) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),

@@ -206,7 +206,10 @@ mod tests {
         let lmd = p.lambda() - p.d();
         let lo = lt(99.0) + lmd - p.kappa() * 2.0;
         let hi = lt(101.0) + lmd + p.kappa() * 2.0;
-        assert!(pulse >= lo && pulse <= hi, "pulse {pulse:?} escaped [{lo:?}, {hi:?}]");
+        assert!(
+            pulse >= lo && pulse <= hi,
+            "pulse {pulse:?} escaped [{lo:?}, {hi:?}]"
+        );
     }
 
     #[test]

@@ -208,8 +208,7 @@ impl GradientTrixRule {
                 None
             };
             let term1 = h_max_known.map(|m| m + kappa * 1.5 + theta_kappa);
-            let wait_window =
-                (2.0 * self.skew_estimate + self.params.u()) * self.params.theta();
+            let wait_window = (2.0 * self.skew_estimate + self.params.u()) * self.params.theta();
             let term2 = h_own.map(|o| o.max(hmin) + wait_window + kappa * 2.0);
             let threshold = match (term1, term2) {
                 (Some(a), Some(b)) => a.min(b),
@@ -246,8 +245,8 @@ impl GradientTrixRule {
         let decision = match own_at_exit {
             None => {
                 // Own predecessor missing: fire off the last neighbor.
-                let h_max = h_max_at_exit
-                    .expect("deadline exit without H_own requires H_max known");
+                let h_max =
+                    h_max_at_exit.expect("deadline exit without H_own requires H_max known");
                 let pulse_local = h_max + kappa * 1.5 + lambda_minus_d;
                 Decision {
                     exit: ExitKind::OwnMissing,

@@ -105,10 +105,7 @@ mod tests {
         let p = params();
         let rule = SimplifiedRule::new(p);
         let h = LocalTime::from(50.0);
-        assert_eq!(
-            rule.pulse_local(h, &[h, h]),
-            h + (p.lambda() - p.d())
-        );
+        assert_eq!(rule.pulse_local(h, &[h, h]), h + (p.lambda() - p.d()));
     }
 
     /// Lemma B.2: Algorithm 1 and Algorithm 3 agree whenever all

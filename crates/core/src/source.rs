@@ -74,10 +74,7 @@ impl Layer0Line {
             let mut cur = start;
             loop {
                 stack.push(cur);
-                assert!(
-                    stack.len() <= n,
-                    "cyclic parent structure in layer-0 chain"
-                );
+                assert!(stack.len() <= n, "cyclic parent structure in layer-0 chain");
                 match parents[cur] {
                     Some(p) if phi[p].is_nan() => cur = p,
                     _ => break,
@@ -303,9 +300,7 @@ mod tests {
                 i,
                 Link {
                     to: i + 1,
-                    delay: Duration::from(
-                        rng.f64_in(p.d_min().as_f64(), p.d().as_f64()),
-                    ),
+                    delay: Duration::from(rng.f64_in(p.d_min().as_f64(), p.d().as_f64())),
                 },
             );
         }
@@ -373,11 +368,6 @@ mod tests {
     #[should_panic(expected = "cyclic parent structure")]
     fn rejects_cyclic_chain() {
         let p = params();
-        let _ = Layer0Line::new(
-            &p,
-            &[Some(1), Some(0)],
-            &[p.d(), p.d()],
-            &[1.0, 1.0],
-        );
+        let _ = Layer0Line::new(&p, &[Some(1), Some(0)], &[p.d(), p.d()], &[1.0, 1.0]);
     }
 }

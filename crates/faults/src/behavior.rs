@@ -143,7 +143,10 @@ mod tests {
     #[test]
     fn silent_never_sends() {
         let b = FaultBehavior::Silent;
-        assert_eq!(b.send_time(n(1, 1), 0, Some(Time::from(5.0)), n(1, 2)), None);
+        assert_eq!(
+            b.send_time(n(1, 1), 0, Some(Time::from(5.0)), n(1, 2)),
+            None
+        );
         assert_eq!(b.send_time(n(1, 1), 3, None, n(1, 2)), None);
     }
 

@@ -75,8 +75,11 @@ pub fn scrambled_network(
         if id.layer == 0 {
             return None; // Algorithm 2 is memoryless enough; see Lemma A.1.
         }
-        let mut node =
-            GradientTrixNode::new(wiring.config, wiring.own_pred, wiring.neighbor_preds.clone());
+        let mut node = GradientTrixNode::new(
+            wiring.config,
+            wiring.own_pred,
+            wiring.neighbor_preds.clone(),
+        );
         node.scramble(&mut scramble_rng, LocalTime::ZERO);
         Some(Box::new(node))
     });
@@ -122,16 +125,7 @@ mod tests {
         let mut rng = Rng::seed_from(77);
         let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
         let cfg = GridNodeConfig::standard(p, g.base().diameter());
-        let mut net = scrambled_network(
-            &g,
-            &p,
-            &env,
-            cfg,
-            30,
-            25,
-            &HashSet::new(),
-            &mut rng,
-        );
+        let mut net = scrambled_network(&g, &p, &env, cfg, 30, 25, &HashSet::new(), &mut rng);
         net.run(Time::from(1e9));
         let by_node = net.broadcasts_by_node();
         let lambda = p.lambda().as_f64();
@@ -165,8 +159,7 @@ mod tests {
         let cfg = GridNodeConfig::standard(p, g.base().diameter());
         let dead = g.node(2, 1);
         let permanent: HashSet<_> = [dead].into_iter().collect();
-        let mut net =
-            scrambled_network(&g, &p, &env, cfg, 30, 10, &permanent, &mut rng);
+        let mut net = scrambled_network(&g, &p, &env, cfg, 30, 10, &permanent, &mut rng);
         net.run(Time::from(1e9));
         let by_node = net.broadcasts_by_node();
         assert!(

@@ -37,12 +37,7 @@ pub fn is_one_local(g: &LayeredGraph, faults: &HashSet<NodeId>) -> bool {
 /// With `min_layer = 1` this matches the Theorem 1.2/1.3 setting
 /// ("none in layer 0"; Appendix A argues layer-0 faults have probability
 /// `o(1)` anyway).
-pub fn sample_iid(
-    g: &LayeredGraph,
-    p: f64,
-    min_layer: usize,
-    rng: &mut Rng,
-) -> HashSet<NodeId> {
+pub fn sample_iid(g: &LayeredGraph, p: f64, min_layer: usize, rng: &mut Rng) -> HashSet<NodeId> {
     assert!((0.0..=1.0).contains(&p), "probability out of range");
     g.nodes()
         .filter(|n| (n.layer as usize) >= min_layer && rng.bernoulli(p))

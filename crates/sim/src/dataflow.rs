@@ -197,11 +197,7 @@ impl PulseTrace {
 
     /// Iterates over the correct nodes of one layer with their iteration-`k`
     /// pulse times.
-    pub fn layer_times(
-        &self,
-        k: usize,
-        layer: usize,
-    ) -> impl Iterator<Item = (usize, Time)> + '_ {
+    pub fn layer_times(&self, k: usize, layer: usize) -> impl Iterator<Item = (usize, Time)> + '_ {
         (0..self.width).filter_map(move |v| {
             let node = NodeId::new(v as u32, layer as u32);
             if self.is_faulty(node) {
@@ -332,8 +328,7 @@ mod tests {
         let trace = run_dataflow(&g, &env, &layer0, &MaxPlusOne, &CorrectSends, 3);
         for k in 0..3 {
             for layer in 0..4 {
-                let times: Vec<Time> =
-                    trace.layer_times(k, layer).map(|(_, t)| t).collect();
+                let times: Vec<Time> = trace.layer_times(k, layer).map(|(_, t)| t).collect();
                 assert_eq!(times.len(), 5);
                 assert!(times.windows(2).all(|w| w[0] == w[1]));
             }

@@ -49,11 +49,7 @@ impl StaticEnvironment {
     /// Panics if the vector lengths do not match the graph.
     pub fn new(g: &LayeredGraph, delays: Vec<Duration>, clocks: Vec<AffineClock>) -> Self {
         assert_eq!(delays.len(), g.edge_count(), "one delay per edge required");
-        assert_eq!(
-            clocks.len(),
-            g.node_count(),
-            "one clock per node required"
-        );
+        assert_eq!(clocks.len(), g.node_count(), "one clock per node required");
         Self {
             delays,
             clocks,
@@ -71,13 +67,7 @@ impl StaticEnvironment {
     }
 
     /// Uniformly random delays in `[d−u, d]` and clock rates in `[1, ϑ]`.
-    pub fn random(
-        g: &LayeredGraph,
-        d: Duration,
-        u: Duration,
-        theta: f64,
-        rng: &mut Rng,
-    ) -> Self {
+    pub fn random(g: &LayeredGraph, d: Duration, u: Duration, theta: f64, rng: &mut Rng) -> Self {
         assert!(u >= Duration::ZERO && u <= d, "need 0 <= u <= d");
         assert!(theta >= 1.0, "theta must be at least 1");
         let delays = (0..g.edge_count())

@@ -57,8 +57,7 @@ impl Rng {
     /// clock rates, fault placement, ...) so that changing how much
     /// randomness one concern consumes does not perturb the others.
     pub fn fork(&self, stream: u64) -> Self {
-        let mut sm = self
-            .s[0]
+        let mut sm = self.s[0]
             .wrapping_mul(0x9E6D)
             .wrapping_add(self.s[2])
             .wrapping_add(stream.wrapping_mul(0xA24B_AED4_963E_E407));
@@ -74,10 +73,7 @@ impl Rng {
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

@@ -229,22 +229,25 @@ impl PiecewiseClock {
 
     /// Minimum instantaneous rate over all segments.
     pub fn min_rate(&self) -> f64 {
-        self.segments.iter().map(|s| s.rate).fold(f64::MAX, f64::min)
+        self.segments
+            .iter()
+            .map(|s| s.rate)
+            .fold(f64::MAX, f64::min)
     }
 
     /// Maximum instantaneous rate over all segments.
     pub fn max_rate(&self) -> f64 {
-        self.segments.iter().map(|s| s.rate).fold(f64::MIN, f64::max)
+        self.segments
+            .iter()
+            .map(|s| s.rate)
+            .fold(f64::MIN, f64::max)
     }
 }
 
 impl Clock for PiecewiseClock {
     fn local_at(&self, t: Time) -> LocalTime {
         // Find the last segment with start <= t (extrapolate before origin).
-        let idx = match self
-            .segments
-            .binary_search_by(|s| s.start.cmp(&t))
-        {
+        let idx = match self.segments.binary_search_by(|s| s.start.cmp(&t)) {
             Ok(i) => i,
             Err(0) => 0,
             Err(i) => i - 1,
@@ -257,10 +260,7 @@ impl Clock for PiecewiseClock {
     fn real_at(&self, h: LocalTime) -> Time {
         let hv = h.as_f64();
         // Find the last segment with local_at_start <= h.
-        let idx = match self
-            .local_at_start
-            .binary_search_by(|v| v.total_cmp(&hv))
-        {
+        let idx = match self.local_at_start.binary_search_by(|v| v.total_cmp(&hv)) {
             Ok(i) => i,
             Err(0) => 0,
             Err(i) => i - 1,

@@ -249,7 +249,10 @@ mod tests {
             Duration::from(-5.0).clamp(Duration::ZERO, k),
             Duration::ZERO
         );
-        assert_eq!(Duration::from(0.5).clamp(Duration::ZERO, k), Duration::from(0.5));
+        assert_eq!(
+            Duration::from(0.5).clamp(Duration::ZERO, k),
+            Duration::from(0.5)
+        );
         assert_eq!(k.min(Duration::ZERO), Duration::ZERO);
         assert_eq!(k.max(Duration::ZERO), k);
     }

@@ -55,7 +55,11 @@ pub fn distance_k_faulty(
     delta: usize,
     is_faulty: &[bool],
 ) -> usize {
-    assert_eq!(is_faulty.len(), g.node_count(), "fault vector size mismatch");
+    assert_eq!(
+        is_faulty.len(),
+        g.node_count(),
+        "fault vector size mismatch"
+    );
     assert!(delta > 0, "delta must be positive");
     let mut k = 0usize;
     loop {

@@ -47,10 +47,7 @@ impl BaseGraph {
             assert_eq!(len_before, list.len(), "duplicate edge in base graph");
         }
         let (distances, diameter) = all_pairs_bfs(&adjacency);
-        assert!(
-            diameter != u32::MAX,
-            "base graph must be connected"
-        );
+        assert!(diameter != u32::MAX, "base graph must be connected");
         Self {
             adjacency,
             distances,

@@ -160,9 +160,8 @@ impl LayeredGraph {
 
     /// Iterates over all nodes in (layer, v) order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.layer_count).flat_map(move |l| {
-            (0..self.width()).map(move |v| NodeId::new(v as u32, l as u32))
-        })
+        (0..self.layer_count)
+            .flat_map(move |l| (0..self.width()).map(move |v| NodeId::new(v as u32, l as u32)))
     }
 
     /// In-degree of the copies of base node `w` on layers ≥ 1:
@@ -205,10 +204,7 @@ impl LayeredGraph {
         );
         let boundary = (target.layer - 1) as usize;
         EdgeId(
-            boundary * self.edges_per_boundary
-                + self.in_edge_offsets[target.v as usize]
-                + 1
-                + slot,
+            boundary * self.edges_per_boundary + self.in_edge_offsets[target.v as usize] + 1 + slot,
         )
     }
 
@@ -319,9 +315,7 @@ mod tests {
         let g = sample();
         for n in g.nodes() {
             for (succ, edge) in g.successors(n) {
-                let found = g
-                    .predecessors(succ)
-                    .find(|&(p, e)| p == n && e == edge);
+                let found = g.predecessors(succ).find(|&(p, e)| p == n && e == edge);
                 assert!(found.is_some(), "edge {edge:?} must appear at target");
             }
         }

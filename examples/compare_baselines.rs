@@ -14,11 +14,7 @@ use gradient_trix::topology::{BaseGraph, EdgeId, HexGrid, LayeredGraph};
 use std::collections::HashSet;
 
 fn main() {
-    let params = Params::with_standard_lambda(
-        Duration::from(2000.0),
-        Duration::from(1.0),
-        1.0001,
-    );
+    let params = Params::with_standard_lambda(Duration::from(2000.0), Duration::from(1.0), 1.0001);
     let width = 32;
     let grid = LayeredGraph::new(BaseGraph::line_with_replicated_ends(width), width);
 
@@ -40,7 +36,14 @@ fn main() {
     );
     let layer0 = OffsetLayer0::synchronized(params.lambda().as_f64(), grid.width());
 
-    let naive = run_dataflow(&grid, &env, &layer0, &NaiveTrixRule::new(), &CorrectSends, 1);
+    let naive = run_dataflow(
+        &grid,
+        &env,
+        &layer0,
+        &NaiveTrixRule::new(),
+        &CorrectSends,
+        1,
+    );
     let gt = run_dataflow(
         &grid,
         &env,

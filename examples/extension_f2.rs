@@ -14,11 +14,7 @@ use gradient_trix::time::Duration;
 use gradient_trix::topology::{BaseGraph, LayeredGraph};
 
 fn main() {
-    let params = Params::with_standard_lambda(
-        Duration::from(2000.0),
-        Duration::from(1.0),
-        1.0001,
-    );
+    let params = Params::with_standard_lambda(Duration::from(2000.0), Duration::from(1.0), 1.0001);
     let f = 2;
     // Cycle power 2: every node adjacent to its 2 nearest neighbors on
     // each side -> layered in-degree 5 = 2f + 1.
@@ -35,21 +31,12 @@ fn main() {
     let mut model = FaultySendModel::new();
     for (c, layer) in [(0usize, 3usize), (7, 7), (13, 11)] {
         model.insert(grid.node(c, layer), FaultBehavior::Silent);
-        model.insert(
-            grid.node(c + 1, layer),
-            FaultBehavior::Shift(kappa * 20.0),
-        );
+        model.insert(grid.node(c + 1, layer), FaultBehavior::Shift(kappa * 20.0));
         println!("fault pair at columns {c},{} on layer {layer}", c + 1);
     }
 
     let mut rng = Rng::seed_from(6);
-    let env = StaticEnvironment::random(
-        &grid,
-        params.d(),
-        params.u(),
-        params.theta(),
-        &mut rng,
-    );
+    let env = StaticEnvironment::random(&grid, params.d(), params.u(), params.theta(), &mut rng);
     let layer0 = OffsetLayer0::synchronized(params.lambda().as_f64(), grid.width());
     let rule = RobustRule::new(params, f);
     let pulses = 4;

@@ -18,11 +18,7 @@ use gradient_trix::time::Duration;
 use gradient_trix::topology::{BaseGraph, LayeredGraph};
 
 fn main() {
-    let params = Params::with_standard_lambda(
-        Duration::from(2000.0),
-        Duration::from(1.0),
-        1.0001,
-    );
+    let params = Params::with_standard_lambda(Duration::from(2000.0), Duration::from(1.0), 1.0001);
     let grid = LayeredGraph::new(BaseGraph::line_with_replicated_ends(24), 24);
     let n = grid.node_count() as f64;
     let p_fail = 0.5 * n.powf(-0.55);

@@ -4,9 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use gradient_trix::analysis::{
-    full_local_skew, global_skew, max_intra_layer_skew, theory,
-};
+use gradient_trix::analysis::{full_local_skew, global_skew, max_intra_layer_skew, theory};
 use gradient_trix::core::{GradientTrixRule, Layer0Line, Params};
 use gradient_trix::sim::{run_dataflow, CorrectSends, Rng, StaticEnvironment};
 use gradient_trix::time::Duration;
@@ -16,12 +14,12 @@ fn main() {
     // 1. Timing parameters (abstract picoseconds): max delay d = 2 ns,
     //    uncertainty u = 1 ps, clock drift up to 100 ppm, source period
     //    Λ = 2d. κ, the algorithm's skew quantum, is derived (Eq. 1).
-    let params = Params::with_standard_lambda(
-        Duration::from(2000.0),
-        Duration::from(1.0),
-        1.0001,
+    let params = Params::with_standard_lambda(Duration::from(2000.0), Duration::from(1.0), 1.0001);
+    println!(
+        "κ = {:.3} ps, Λ = {} ps",
+        params.kappa().as_f64(),
+        params.lambda()
     );
-    println!("κ = {:.3} ps, Λ = {} ps", params.kappa().as_f64(), params.lambda());
 
     // 2. The paper's topology: a line with replicated endpoints (Fig 2),
     //    stacked into a 32-layer synchronization DAG (Fig 3).
@@ -36,13 +34,7 @@ fn main() {
     //    per-node clock rates in [1, ϑ]; layer 0 driven by the Appendix-A
     //    chain.
     let mut rng = Rng::seed_from(2025);
-    let env = StaticEnvironment::random(
-        &grid,
-        params.d(),
-        params.u(),
-        params.theta(),
-        &mut rng,
-    );
+    let env = StaticEnvironment::random(&grid, params.d(), params.u(), params.theta(), &mut rng);
     let layer0 = Layer0Line::random_for_line(&params, grid.width(), &mut rng);
 
     // 4. Run five pulses through the grid and measure.
@@ -51,12 +43,14 @@ fn main() {
 
     let local = max_intra_layer_skew(&grid, &trace, 0..5);
     let full = full_local_skew(&grid, &trace, 0..5);
-    let global = global_skew(&grid, &trace, 4, grid.layer_count() - 1)
-        .expect("layer fired");
+    let global = global_skew(&grid, &trace, 4, grid.layer_count() - 1).expect("layer fired");
     let bound = theory::thm_1_1_bound(&params, grid.base().diameter());
 
     println!("max intra-layer local skew: {:.3} ps", local.as_f64());
-    println!("full local skew (incl. inter-layer): {:.3} ps", full.as_f64());
+    println!(
+        "full local skew (incl. inter-layer): {:.3} ps",
+        full.as_f64()
+    );
     println!("global skew (deepest layer): {:.3} ps", global.as_f64());
     println!(
         "Theorem 1.1 bound 4κ(2+log₂D): {:.3} ps — measured/bound = {:.3}",

@@ -18,11 +18,7 @@ use gradient_trix::topology::{BaseGraph, LayeredGraph};
 use std::collections::HashSet;
 
 fn main() {
-    let params = Params::with_standard_lambda(
-        Duration::from(2000.0),
-        Duration::from(1.0),
-        1.0001,
-    );
+    let params = Params::with_standard_lambda(Duration::from(2000.0), Duration::from(1.0), 1.0001);
     let grid = LayeredGraph::new(BaseGraph::line_with_replicated_ends(6), 6);
     let mut rng = Rng::seed_from(1);
     let env = StaticEnvironment::random(&grid, params.d(), params.u(), params.theta(), &mut rng);

@@ -32,7 +32,12 @@ fn main() {
     let width = 40;
     let grid = LayeredGraph::new(BaseGraph::line_with_replicated_ends(width), width);
 
-    println!("SoC clock grid: {}×{} roots ({} nodes)", width, width, grid.node_count());
+    println!(
+        "SoC clock grid: {}×{} roots ({} nodes)",
+        width,
+        width,
+        grid.node_count()
+    );
     println!(
         "d = {} ps, u = {} ps, ϑ−1 = {} ppm, Λ = {} ps (source @ {:.2} GHz)",
         d,

@@ -18,9 +18,7 @@ use gradient_trix::core::{
     check_pulse_interval, GradientTrixRule, GridNodeConfig, Layer0Line, Params,
 };
 use gradient_trix::faults::{sample_one_local, scrambled_network, FaultBehavior, FaultySendModel};
-use gradient_trix::sim::{
-    run_dataflow, CorrectSends, OffsetLayer0, Rng, StaticEnvironment,
-};
+use gradient_trix::sim::{run_dataflow, CorrectSends, OffsetLayer0, Rng, StaticEnvironment};
 use gradient_trix::time::{Duration, Time};
 use gradient_trix::topology::{BaseGraph, EdgeId, LayeredGraph, NodeId};
 
@@ -34,10 +32,7 @@ impl Args {
         let mut i = 0;
         while i < raw.len() {
             let key = raw[i].trim_start_matches("--").to_owned();
-            let value = raw
-                .get(i + 1)
-                .filter(|v| !v.starts_with("--"))
-                .cloned();
+            let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
             if value.is_some() {
                 i += 1;
             }

@@ -2,7 +2,7 @@
 //! babbling nodes (spurious pulses at arbitrary rates) and silent nodes
 //! inside a live grid.
 
-use gradient_trix::core::{GridNodeConfig, GridNetwork, Params};
+use gradient_trix::core::{GridNetwork, GridNodeConfig, Params};
 use gradient_trix::faults::{BabblingDesNode, SilentDesNode};
 use gradient_trix::sim::{Node, Rng, StaticEnvironment};
 use gradient_trix::time::{Duration, Time};
@@ -165,8 +165,7 @@ fn event_cap_protects_against_runaway_babblers() {
     let mut net = GridNetwork::build(&g, &p, &env, cfg, 10, &mut rng, |id, _| {
         (id == bad).then(|| {
             // Pathologically fast babbler.
-            Box::new(BabblingDesNode::new(Duration::from(1.0), Duration::ZERO))
-                as Box<dyn Node>
+            Box::new(BabblingDesNode::new(Duration::from(1.0), Duration::ZERO)) as Box<dyn Node>
         })
     });
     net.des.set_max_events(50_000);

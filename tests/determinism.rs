@@ -2,7 +2,7 @@
 //! executions on both engines — the foundation for reproducible
 //! experiments.
 
-use gradient_trix::core::{GradientTrixRule, GridNodeConfig, GridNetwork, Layer0Line, Params};
+use gradient_trix::core::{GradientTrixRule, GridNetwork, GridNodeConfig, Layer0Line, Params};
 use gradient_trix::faults::{FaultBehavior, FaultySendModel};
 use gradient_trix::sim::{run_dataflow, Rng, StaticEnvironment};
 use gradient_trix::time::{Duration, Time};
@@ -20,7 +20,14 @@ fn dataflow_is_bit_reproducible() {
         let mut rng = Rng::seed_from(0xABCD);
         let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
         let layer0 = Layer0Line::random_for_line(&p, g.width(), &mut rng);
-        run_dataflow(&g, &env, &layer0, &GradientTrixRule::new(p), &gradient_trix::sim::CorrectSends, 4)
+        run_dataflow(
+            &g,
+            &env,
+            &layer0,
+            &GradientTrixRule::new(p),
+            &gradient_trix::sim::CorrectSends,
+            4,
+        )
     };
     let a = run();
     let b = run();
@@ -79,6 +86,67 @@ fn des_is_bit_reproducible() {
     assert_eq!(run(), run());
 }
 
+/// Folds one value into an FNV-1a fingerprint.
+fn mix(h: &mut u64, bits: u64) {
+    *h ^= bits;
+    *h = h.wrapping_mul(0x100_0000_01b3);
+}
+
+/// Regression: the *entire* execution of a seeded scenario — every pulse
+/// time on the dataflow engine (faults included) plus every DES broadcast —
+/// must be **bit-identical** across two runs, not merely close under a
+/// float tolerance. Any nondeterminism anywhere in the stack (RNG use,
+/// iteration order, event tie-breaking) changes the fingerprint.
+#[test]
+fn seeded_scenario_traces_are_bit_identical() {
+    let p = params();
+    let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(9), 9);
+    let model = FaultySendModel::from_faults([
+        (g.node(2, 1), FaultBehavior::Silent),
+        (
+            g.node(6, 4),
+            FaultBehavior::Jitter {
+                amplitude: p.kappa() * 3.0,
+                seed: 7,
+            },
+        ),
+    ]);
+    let fingerprint = || {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+
+        // Dataflow engine, with Byzantine senders in the mix.
+        let mut rng = Rng::seed_from(0x5EED_2025);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let layer0 = Layer0Line::random_for_line(&p, g.width(), &mut rng);
+        let trace = run_dataflow(&g, &env, &layer0, &GradientTrixRule::new(p), &model, 3);
+        for k in 0..3 {
+            for n in g.nodes() {
+                match trace.time(k, n) {
+                    Some(t) => mix(&mut h, t.as_f64().to_bits()),
+                    None => mix(&mut h, u64::MAX),
+                }
+            }
+        }
+
+        // DES engine over the same seed.
+        let mut rng = Rng::seed_from(0x5EED_2025);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let cfg = GridNodeConfig::standard(p, g.base().diameter());
+        let mut net = GridNetwork::build(&g, &p, &env, cfg, 6, &mut rng, |_, _| None);
+        net.run(Time::from(1e9));
+        for b in net.des.broadcasts() {
+            mix(&mut h, b.node as u64);
+            mix(&mut h, b.time.as_f64().to_bits());
+        }
+        h
+    };
+    assert_eq!(
+        fingerprint(),
+        fingerprint(),
+        "seeded scenario produced diverging traces"
+    );
+}
+
 #[test]
 fn different_seeds_differ() {
     let p = params();
@@ -87,12 +155,17 @@ fn different_seeds_differ() {
         let mut rng = Rng::seed_from(seed);
         let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
         let layer0 = Layer0Line::random_for_line(&p, g.width(), &mut rng);
-        run_dataflow(&g, &env, &layer0, &GradientTrixRule::new(p), &gradient_trix::sim::CorrectSends, 1)
+        run_dataflow(
+            &g,
+            &env,
+            &layer0,
+            &GradientTrixRule::new(p),
+            &gradient_trix::sim::CorrectSends,
+            1,
+        )
     };
     let a = run(1);
     let b = run(2);
-    let differs = g
-        .nodes()
-        .any(|n| a.time(0, n) != b.time(0, n));
+    let differs = g.nodes().any(|n| a.time(0, n) != b.time(0, n));
     assert!(differs, "different seeds must yield different executions");
 }

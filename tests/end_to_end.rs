@@ -5,7 +5,7 @@ use gradient_trix::analysis::{
     full_local_skew, global_skew, intra_layer_skew, max_intra_layer_skew, psi, theory,
 };
 use gradient_trix::core::{
-    check_gcs_conditions, check_pulse_interval, GradientTrixRule, GridNodeConfig, GridNetwork,
+    check_gcs_conditions, check_pulse_interval, GradientTrixRule, GridNetwork, GridNodeConfig,
     Layer0Line, Params,
 };
 use gradient_trix::sim::{run_dataflow, CorrectSends, Rng, StaticEnvironment};
@@ -21,13 +21,25 @@ fn random_run(
     layers: usize,
     pulses: usize,
     seed: u64,
-) -> (LayeredGraph, StaticEnvironment, gradient_trix::sim::PulseTrace, Params) {
+) -> (
+    LayeredGraph,
+    StaticEnvironment,
+    gradient_trix::sim::PulseTrace,
+    Params,
+) {
     let p = params();
     let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(width), layers);
     let mut rng = Rng::seed_from(seed);
     let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
     let layer0 = Layer0Line::random_for_line(&p, g.width(), &mut rng);
-    let trace = run_dataflow(&g, &env, &layer0, &GradientTrixRule::new(p), &CorrectSends, pulses);
+    let trace = run_dataflow(
+        &g,
+        &env,
+        &layer0,
+        &GradientTrixRule::new(p),
+        &CorrectSends,
+        pulses,
+    );
     (g, env, trace, p)
 }
 
@@ -69,8 +81,7 @@ fn potentials_dominate_skew_observation_4_2() {
     for layer in 0..g.layer_count() {
         let local = intra_layer_skew(&g, &trace, 1, layer).unwrap();
         for s in 0..=4u32 {
-            let bound = psi(&g, &trace, &p, 1, layer, s).unwrap()
-                + p.kappa() * (4.0 * s as f64);
+            let bound = psi(&g, &trace, &p, 1, layer, s).unwrap() + p.kappa() * (4.0 * s as f64);
             assert!(
                 local <= bound + Duration::from(1e-9),
                 "layer {layer} s={s}: {local} > {bound}"
@@ -109,7 +120,14 @@ fn des_and_dataflow_agree_on_steady_state_period() {
     // Dataflow.
     let mut df_rng = Rng::seed_from(55);
     let layer0 = Layer0Line::random_for_line(&p, g.width(), &mut df_rng);
-    let trace = run_dataflow(&g, &env, &layer0, &GradientTrixRule::new(p), &CorrectSends, 6);
+    let trace = run_dataflow(
+        &g,
+        &env,
+        &layer0,
+        &GradientTrixRule::new(p),
+        &CorrectSends,
+        6,
+    );
     let df_skew = max_intra_layer_skew(&g, &trace, 4..6);
 
     // DES.
@@ -149,11 +167,15 @@ fn cycle_base_graph_works_too() {
     let g = LayeredGraph::new(BaseGraph::cycle(16), 16);
     let mut rng = Rng::seed_from(2);
     let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
-    let layer0 = gradient_trix::sim::OffsetLayer0::synchronized(
-        p.lambda().as_f64(),
-        g.width(),
+    let layer0 = gradient_trix::sim::OffsetLayer0::synchronized(p.lambda().as_f64(), g.width());
+    let trace = run_dataflow(
+        &g,
+        &env,
+        &layer0,
+        &GradientTrixRule::new(p),
+        &CorrectSends,
+        3,
     );
-    let trace = run_dataflow(&g, &env, &layer0, &GradientTrixRule::new(p), &CorrectSends, 3);
     let bound = theory::thm_1_1_bound(&p, g.base().diameter());
     assert!(max_intra_layer_skew(&g, &trace, 0..3) <= bound);
 }

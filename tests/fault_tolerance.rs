@@ -45,8 +45,7 @@ fn assert_contained(g: &LayeredGraph, model: &FaultySendModel, label: &str) {
 #[test]
 fn silent_fault_is_contained() {
     let g = grid();
-    let model =
-        FaultySendModel::from_faults([(g.node(8, 8), FaultBehavior::Silent)]);
+    let model = FaultySendModel::from_faults([(g.node(8, 8), FaultBehavior::Silent)]);
     assert_contained(&g, &model, "silent");
 }
 
@@ -54,10 +53,8 @@ fn silent_fault_is_contained() {
 fn late_shift_fault_is_contained() {
     let g = grid();
     let p = params();
-    let model = FaultySendModel::from_faults([(
-        g.node(8, 8),
-        FaultBehavior::Shift(p.kappa() * 30.0),
-    )]);
+    let model =
+        FaultySendModel::from_faults([(g.node(8, 8), FaultBehavior::Shift(p.kappa() * 30.0))]);
     assert_contained(&g, &model, "late shift");
 }
 
@@ -65,10 +62,8 @@ fn late_shift_fault_is_contained() {
 fn early_shift_fault_is_contained() {
     let g = grid();
     let p = params();
-    let model = FaultySendModel::from_faults([(
-        g.node(8, 8),
-        FaultBehavior::Shift(p.kappa() * -30.0),
-    )]);
+    let model =
+        FaultySendModel::from_faults([(g.node(8, 8), FaultBehavior::Shift(p.kappa() * -30.0))]);
     assert_contained(&g, &model, "early shift");
 }
 
@@ -103,8 +98,7 @@ fn jitter_fault_is_contained() {
 #[test]
 fn mid_run_death_is_contained() {
     let g = grid();
-    let model =
-        FaultySendModel::from_faults([(g.node(8, 8), FaultBehavior::dies_at(2))]);
+    let model = FaultySendModel::from_faults([(g.node(8, 8), FaultBehavior::dies_at(2))]);
     let p = params();
     let trace = run_with(&g, &model, 4, 5);
     let skew = max_intra_layer_skew(&g, &trace, 0..4);
@@ -118,10 +112,8 @@ fn faulty_layer0_node_is_contained() {
     // impact on layer 1.
     let g = grid();
     let p = params();
-    let model = FaultySendModel::from_faults([(
-        g.node(5, 0),
-        FaultBehavior::Shift(p.kappa() * 20.0),
-    )]);
+    let model =
+        FaultySendModel::from_faults([(g.node(5, 0), FaultBehavior::Shift(p.kappa() * 20.0))]);
     let trace = run_with(&g, &model, 3, 9);
     let violations = check_pulse_interval(&g, &trace, &p, 0..3, 2.0);
     assert!(violations.is_empty(), "{violations:?}");
@@ -135,12 +127,10 @@ fn stacked_worst_case_faults_respect_envelope() {
         let positions = clustered_column(&g, 8, 4, 1, f);
         let mut sorted: Vec<NodeId> = positions.into_iter().collect();
         sorted.sort();
-        let model = FaultySendModel::from_faults(sorted.into_iter().enumerate().map(
-            |(i, n)| {
-                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
-                (n, FaultBehavior::Shift(p.kappa() * (25.0 * sign)))
-            },
-        ));
+        let model = FaultySendModel::from_faults(sorted.into_iter().enumerate().map(|(i, n)| {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            (n, FaultBehavior::Shift(p.kappa() * (25.0 * sign)))
+        }));
         let trace = run_with(&g, &model, 2, 3);
         let skew = max_intra_layer_skew(&g, &trace, 0..2);
         let envelope = theory::thm_1_2_envelope(&p, g.base().diameter(), f as u32);
@@ -159,16 +149,15 @@ fn random_one_local_fault_sets_are_contained() {
         assert!(is_one_local(&g, &positions));
         let mut sorted: Vec<NodeId> = positions.into_iter().collect();
         sorted.sort();
-        let model = FaultySendModel::from_faults(sorted.into_iter().enumerate().map(
-            |(i, node)| {
+        let model =
+            FaultySendModel::from_faults(sorted.into_iter().enumerate().map(|(i, node)| {
                 let b = match i % 3 {
                     0 => FaultBehavior::Silent,
                     1 => FaultBehavior::Shift(p.kappa() * 12.0),
                     _ => FaultBehavior::Shift(p.kappa() * -12.0),
                 };
                 (node, b)
-            },
-        ));
+            }));
         assert_contained(&g, &model, &format!("random seed {seed}"));
     }
 }

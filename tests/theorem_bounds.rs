@@ -48,16 +48,15 @@ fn thm_1_3_at_width_48_multiple_seeds() {
         let (positions, _) = sample_one_local(&g, prob, 1, &mut rng);
         let mut sorted: Vec<NodeId> = positions.into_iter().collect();
         sorted.sort();
-        let model = FaultySendModel::from_faults(sorted.into_iter().enumerate().map(
-            |(i, node)| {
+        let model =
+            FaultySendModel::from_faults(sorted.into_iter().enumerate().map(|(i, node)| {
                 let b = match i % 3 {
                     0 => FaultBehavior::Silent,
                     1 => FaultBehavior::Shift(p.kappa() * 18.0),
                     _ => FaultBehavior::Shift(p.kappa() * -18.0),
                 };
                 (node, b)
-            },
-        ));
+            }));
         let trace = run(&g, &p, &model, 3, seed);
         let skew = max_intra_layer_skew(&g, &trace, 0..3);
         assert!(skew <= reference, "seed {seed}: {skew} vs {reference}");

@@ -1,0 +1,245 @@
+//! Minimal, dependency-free stand-in for the [`criterion`] benchmark
+//! harness.
+//!
+//! The build container has no network access to a crates.io mirror, so the
+//! workspace vendors the subset of the criterion API its bench targets
+//! use: `Criterion`, `criterion_group!`/`criterion_main!`, benchmark
+//! groups, `Bencher::iter`/`iter_batched`, `BatchSize`, and `Throughput`.
+//!
+//! Statistics are intentionally simple — each benchmark is warmed up once
+//! and then timed over a fixed number of batches, reporting the mean and
+//! min per-iteration wall time. The goal is a working `cargo bench`
+//! (and `cargo bench --no-run` in CI) without the plotting/analysis
+//! machinery of upstream criterion.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::time::{Duration, Instant};
+
+/// How setup results are batched in [`Bencher::iter_batched`].
+/// Retained for API compatibility; the stand-in runs one setup per call.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: one per batch upstream.
+    LargeInput,
+    /// Per-iteration setup.
+    PerIteration,
+}
+
+/// Optional throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Collected timing for one benchmark.
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    iters: u64,
+    total: Duration,
+}
+
+/// The benchmark driver. Mirrors the `criterion::Criterion` builder API.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample size for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(&full, samples, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the timed iterations.
+pub struct Bencher {
+    iters: u64,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    /// Times `routine` over the requested number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.sample = Some(Sample {
+            iters: self.iters,
+            total: start.elapsed(),
+        });
+    }
+
+    /// Times `routine` over per-iteration inputs built by `setup`;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.sample = Some(Sample {
+            iters: self.iters,
+            total,
+        });
+    }
+}
+
+fn run_bench<F>(id: &str, sample_size: usize, throughput: Option<Throughput>, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up + calibration: a single iteration to estimate cost.
+    let mut b = Bencher {
+        iters: 1,
+        sample: None,
+    };
+    f(&mut b);
+    let warmup = b
+        .sample
+        .map(|s| s.total)
+        .unwrap_or(Duration::ZERO)
+        .max(Duration::from_nanos(1));
+
+    // Aim for ~50ms of measurement per sample, capped to keep heavy
+    // paper-scale workloads tolerable.
+    let target = Duration::from_millis(50);
+    let iters = ((target.as_nanos() / warmup.as_nanos().max(1)) as u64).clamp(1, 10_000);
+
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            sample: None,
+        };
+        f(&mut b);
+        if let Some(s) = b.sample {
+            let per_iter = s.total / s.iters.max(1) as u32;
+            best = best.min(per_iter);
+            total += s.total;
+            total_iters += s.iters;
+        }
+    }
+    let mean = if total_iters > 0 {
+        total / total_iters as u32
+    } else {
+        Duration::ZERO
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            let rate = n as f64 / mean.as_secs_f64();
+            println!("bench {id:<40} mean {mean:>12?}  min {best:>12?}  {rate:.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            let rate = n as f64 / mean.as_secs_f64();
+            println!("bench {id:<40} mean {mean:>12?}  min {best:>12?}  {rate:.0} B/s");
+        }
+        _ => println!("bench {id:<40} mean {mean:>12?}  min {best:>12?}"),
+    }
+}
+
+/// Defines a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,94 @@
+//! Deterministic PRNG and case-count configuration for the vendored
+//! proptest stand-in.
+
+/// How a single property-test case ended, when it did not succeed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The input was rejected by `prop_assume!`; the case is skipped.
+    Reject(String),
+    /// A `prop_assert*!` failed; the property test fails.
+    Fail(String),
+}
+
+/// Default number of cases drawn per property. Pinned (rather than
+/// upstream's 256) to keep CI time bounded; override with the
+/// `PROPTEST_CASES` environment variable.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Number of cases each property runs, from `PROPTEST_CASES` or
+/// [`DEFAULT_CASES`].
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// A small, fast, deterministic PRNG (splitmix64 seeding a xoshiro256**
+/// core). Seeded from the test's fully qualified name via FNV-1a so every
+/// property draws an independent, reproducible stream.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Builds the deterministic RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut h = FNV_OFFSET;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        Self::seed_from(h)
+    }
+
+    /// Builds the RNG from a raw 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        TestRng { s }
+    }
+
+    /// Next 64 uniformly random bits (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `u64` in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant for test-input generation.
+        self.next_u64() % bound
+    }
+}
