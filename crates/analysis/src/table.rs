@@ -100,6 +100,36 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Appends all rows of `other` (a shard of the same logical table,
+    /// e.g. one scenario's slice of a parameter sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the headers differ — merging shards of different tables
+    /// is always a bug in the sweep decomposition.
+    pub fn merge(&mut self, other: Table) {
+        assert_eq!(
+            self.headers, other.headers,
+            "cannot merge table shards with different headers"
+        );
+        self.rows.extend(other.rows);
+    }
+
     /// Renders the table as github-flavored markdown.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
@@ -179,6 +209,29 @@ mod tests {
         let mut t = Table::new("T", &["x", "y"]);
         t.row(&["1", "2"]);
         assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn merge_concatenates_shards_in_order() {
+        let mut a = Table::new("T", &["x"]);
+        a.row(&["1"]);
+        let mut b = Table::new("T", &["x"]);
+        b.row(&["2"]);
+        b.row(&["3"]);
+        a.merge(b);
+        assert_eq!(
+            a.rows(),
+            &[vec!["1".to_owned()], vec!["2".into()], vec!["3".into()]]
+        );
+        assert_eq!(a.title(), "T");
+        assert_eq!(a.headers(), &["x".to_owned()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different headers")]
+    fn merge_rejects_mismatched_headers() {
+        let mut a = Table::new("T", &["x"]);
+        a.merge(Table::new("T", &["y"]));
     }
 
     #[test]

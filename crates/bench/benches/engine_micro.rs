@@ -3,11 +3,13 @@
 //! pulses/second, and DES events/second.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::hint::black_box;
 use trix_core::{
     correction, CorrectionConfig, GradientTrixRule, GridNetwork, GridNodeConfig, Layer0Line, Params,
 };
-use trix_sim::{run_dataflow, CorrectSends, Rng, StaticEnvironment};
+use trix_sim::{run_dataflow, CorrectSends, EventQueue, Rng, StaticEnvironment};
 use trix_time::{Duration, LocalTime, Time};
 use trix_topology::{BaseGraph, LayeredGraph};
 
@@ -88,9 +90,164 @@ fn bench_des(c: &mut Criterion) {
     group.finish();
 }
 
+/// The engine's *former* event payload shape: `usize` node indices —
+/// 24 bytes with the discriminant, 40 per queue entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WidePayload {
+    Deliver {
+        to: usize,
+        from: usize,
+    },
+    #[allow(dead_code)]
+    Timer {
+        node: usize,
+        tag: u64,
+    },
+}
+
+/// The engine's *current* payload shape: `u32` node indices — 32 bytes
+/// per queue entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PackedPayload {
+    Deliver {
+        to: u32,
+        from: u32,
+    },
+    #[allow(dead_code)]
+    Timer {
+        node: u32,
+        tag: u64,
+    },
+}
+
+/// The DES engine's former queue entry, kept as the benchmark baseline:
+/// a by-value `(time, seq, payload)` struct ordered for a
+/// `BinaryHeap<Reverse<_>>` min-queue.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct BaselineEvent {
+    t: Time,
+    seq: u64,
+    payload: WidePayload,
+}
+
+impl Ord for BaselineEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.t, self.seq).cmp(&(other.t, other.seq))
+    }
+}
+
+impl PartialOrd for BaselineEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Event-loop hold model mirroring DES steady state on a degree-3 grid:
+/// `HOLD_PENDING` events in flight; every second pop is a broadcast that
+/// schedules one delivery per outgoing link.
+///
+/// The baseline reproduces the engine's former per-event work exactly:
+/// peek-and-clone then pop on a `BinaryHeap<Reverse<event>>` of 40-byte
+/// events with `usize` node indices, and a clone of the outgoing-link
+/// `Vec` per broadcast (the borrow-splitting workaround the old
+/// `apply_actions` used). The `engine_queue` version is the engine's
+/// current loop: 32-byte packed entries in [`EventQueue`], popped by
+/// value, links iterated in place.
+const HOLD_PENDING: usize = 1 << 10;
+const HOLD_OPS: usize = 1 << 14;
+const HOLD_DEGREE: usize = 3;
+
+fn hold_links() -> Vec<(usize, Duration)> {
+    (0..HOLD_DEGREE)
+        .map(|i| (i * 7, Duration::from(2000.0 - i as f64)))
+        .collect()
+}
+
+fn bench_des_event_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_event_loop");
+    group.throughput(Throughput::Elements(HOLD_OPS as u64));
+    group.bench_function("binary_heap_baseline", |b| {
+        let links = hold_links();
+        b.iter(|| {
+            let mut queue: BinaryHeap<Reverse<BaselineEvent>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut push = |queue: &mut BinaryHeap<_>, t: Time, payload| {
+                queue.push(Reverse(BaselineEvent { t, seq, payload }));
+                seq += 1;
+            };
+            for i in 0..HOLD_PENDING {
+                push(
+                    &mut queue,
+                    Time::from(i as f64),
+                    WidePayload::Deliver { to: i, from: i },
+                );
+            }
+            let mut acc = 0usize;
+            for op in 0..HOLD_OPS {
+                // The old engine loop: peek-and-clone, then pop.
+                let Reverse(ev) = queue.peek().cloned().expect("non-empty");
+                queue.pop();
+                if let WidePayload::Deliver { to, .. } = ev.payload {
+                    acc ^= to;
+                }
+                if op % 2 == 0 {
+                    // Broadcast: the old `apply_actions` cloned the link
+                    // list to appease the borrow checker.
+                    let links = links.clone();
+                    for &(to, delay) in &links {
+                        push(
+                            &mut queue,
+                            ev.t + delay,
+                            WidePayload::Deliver { to, from: to },
+                        );
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("engine_queue", |b| {
+        let links = hold_links();
+        b.iter(|| {
+            let mut queue: EventQueue<PackedPayload> = EventQueue::new();
+            for i in 0..HOLD_PENDING {
+                queue.push(
+                    Time::from(i as f64),
+                    PackedPayload::Deliver {
+                        to: i as u32,
+                        from: i as u32,
+                    },
+                );
+            }
+            let mut acc = 0usize;
+            for op in 0..HOLD_OPS {
+                // The current engine loop: pop by value, links iterated
+                // in place.
+                let (t, payload) = queue.pop().expect("non-empty");
+                if let PackedPayload::Deliver { to, .. } = payload {
+                    acc ^= to as usize;
+                }
+                if op % 2 == 0 {
+                    for &(to, delay) in &links {
+                        queue.push(
+                            t + delay,
+                            PackedPayload::Deliver {
+                                to: to as u32,
+                                from: to as u32,
+                            },
+                        );
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20);
-    targets = bench_correction, bench_decide, bench_dataflow, bench_des
+    targets = bench_correction, bench_decide, bench_dataflow, bench_des, bench_des_event_loop
 );
 criterion_main!(micro);

@@ -1,56 +1,173 @@
 //! `gradient-trix-experiments` — regenerates every table and figure of
-//! the paper's evaluation (see DESIGN.md's experiment index).
+//! the paper's evaluation (see DESIGN.md's experiment index), sharded
+//! across OS threads by the deterministic sweep runner.
 //!
 //! Usage:
 //!
 //! ```text
-//! gradient-trix-experiments [--quick] [--csv] [--out DIR]
+//! gradient-trix-experiments [--quick | --smoke] [--csv] [--out DIR]
+//!                           [--threads N] [--seed S] [--json PATH]
 //! ```
 //!
-//! `--quick` runs reduced sizes (seconds instead of minutes); `--csv`
-//! emits CSV instead of markdown; `--out DIR` additionally writes one
-//! `.md` and one `.csv` file per table into `DIR`.
+//! * `--quick` runs reduced sizes (seconds instead of minutes); `--smoke`
+//!   runs tiny sizes for the CI gate (a second or two).
+//! * `--threads N` shards scenarios over `N` OS threads (`0` = one per
+//!   CPU; default `0`). Results are bit-identical for every `N`.
+//! * `--seed S` sets the base seed all per-scenario seeds derive from.
+//! * `--json PATH` writes the versioned benchmark report (one record per
+//!   scenario: params, seeds, event counts, value stats, fingerprint,
+//!   wall time) to `PATH`.
+//! * `--csv` emits CSV instead of markdown; `--out DIR` additionally
+//!   writes one `.md` and one `.csv` file per table plus one
+//!   `BENCH_<experiment>.json` per experiment into `DIR`.
+//!
+//! Exits non-zero if any scenario's condition oracle reports a violation
+//! (naming the experiment), or `2` on CLI misuse.
 
-use trix_bench::{run_all, Scale};
+use std::process::ExitCode;
+use trix_bench::{run_suite, Scale};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Full
+struct Args {
+    scale: Scale,
+    csv: bool,
+    out_dir: Option<String>,
+    threads: usize,
+    seed: u64,
+    json: Option<String>,
+}
+
+const USAGE: &str = "usage: gradient-trix-experiments [--quick | --smoke] [--csv] [--out DIR] \
+                     [--threads N] [--seed S] [--json PATH]";
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        scale: Scale::Full,
+        csv: false,
+        out_dir: None,
+        threads: 0,
+        seed: 0,
+        json: None,
     };
-    let csv = args.iter().any(|a| a == "--csv");
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    if args.iter().any(|a| a == "--help") {
-        println!("usage: gradient-trix-experiments [--quick] [--csv] [--out DIR]");
-        return;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--quick" => parsed.scale = Scale::Quick,
+            "--smoke" => parsed.scale = Scale::Smoke,
+            "--csv" => parsed.csv = true,
+            "--out" => parsed.out_dir = Some(value_of("--out")?),
+            "--threads" => {
+                let v = value_of("--threads")?;
+                parsed.threads = v
+                    .parse()
+                    .map_err(|_| format!("invalid --threads value: {v}"))?;
+            }
+            "--seed" => {
+                let v = value_of("--seed")?;
+                parsed.seed = parse_seed(&v).ok_or_else(|| format!("invalid --seed value: {v}"))?;
+            }
+            "--json" => parsed.json = Some(value_of("--json")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
     }
+    Ok(parsed)
+}
 
-    println!("# Gradient TRIX — experiment suite ({scale:?} scale)\n");
+/// Parses a seed as decimal or `0x`-prefixed hex.
+fn parse_seed(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "# Gradient TRIX — experiment suite ({} scale, base seed {:#x})\n",
+        args.scale.name(),
+        args.seed
+    );
     println!(
         "Parameters: d = 2000, u = 1, theta = 1.0001, lambda = 2d, kappa ≈ 2.43 \
          (abstract picoseconds).\n"
     );
-    if let Some(dir) = &out_dir {
+    if let Some(dir) = &args.out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
+
     let start = std::time::Instant::now();
-    for (i, table) in run_all(scale).into_iter().enumerate() {
-        if csv {
+    let outcome = run_suite(args.scale, args.seed, args.threads);
+
+    for (i, table) in outcome.tables.iter().enumerate() {
+        if args.csv {
             println!("{}", table.to_csv());
         } else {
             println!("{}", table.to_markdown());
         }
-        if let Some(dir) = &out_dir {
+        if let Some(dir) = &args.out_dir {
             let stem = format!("{dir}/table_{i:02}");
             std::fs::write(format!("{stem}.md"), table.to_markdown()).expect("write markdown");
             std::fs::write(format!("{stem}.csv"), table.to_csv()).expect("write csv");
         }
     }
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, outcome.report.to_json()).expect("write benchmark JSON");
+        eprintln!(
+            "wrote {} scenario records to {path}",
+            outcome.report.records.len()
+        );
+    }
+    if let Some(dir) = &args.out_dir {
+        // One BENCH_<experiment>.json per experiment, for per-experiment
+        // trajectory tracking.
+        let mut experiments: Vec<&str> = outcome
+            .report
+            .records
+            .iter()
+            .map(|r| r.experiment.as_str())
+            .collect();
+        experiments.dedup();
+        for experiment in experiments {
+            let report = outcome.report.filtered(experiment);
+            std::fs::write(format!("{dir}/BENCH_{experiment}.json"), report.to_json())
+                .expect("write per-experiment benchmark JSON");
+        }
+    }
     eprintln!("total wall time: {:.1?}", start.elapsed());
+
+    if !outcome.violations.is_empty() {
+        for v in &outcome.violations {
+            eprintln!(
+                "VIOLATION in experiment `{}` (scenario {}): {}",
+                v.experiment, v.scenario, v.message
+            );
+        }
+        let mut failing: Vec<&str> = outcome
+            .violations
+            .iter()
+            .map(|v| v.experiment.as_str())
+            .collect();
+        failing.dedup();
+        eprintln!("failing experiments: {}", failing.join(", "));
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -9,6 +9,8 @@
 //! "provable worst case".
 
 use crate::common::{square_grid, standard_params};
+use crate::suite::{kv, Scenario};
+use crate::Scale;
 use trix_analysis::{fmt_f64, max_intra_layer_skew, theory, Table};
 use trix_core::GradientTrixRule;
 use trix_sim::{run_dataflow, CorrectSends, OffsetLayer0, Rng, StaticEnvironment};
@@ -67,6 +69,30 @@ pub fn run(width: usize, iterations: usize, seeds: &[u64]) -> Table {
         ]);
     }
     table
+}
+
+/// Scenario decomposition for the sweep runner: one scenario per derived
+/// seed (each seed is an independent hill-climbing search — the slowest
+/// work units in the suite, so sharding them matters most).
+pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
+    let (width, iterations) = scale.pick((8usize, 10usize), (8, 20), (16, 150));
+    let seeds = trix_runner::scenario_seeds(base_seed, "adversary", 0, scale.seed_count().min(2));
+    seeds
+        .iter()
+        .map(|&seed| {
+            Scenario::new(
+                "adversary",
+                format!("seed={seed:#x}"),
+                vec![
+                    kv("width", width),
+                    kv("iterations", iterations),
+                    kv("seed", seed),
+                ],
+                &[seed],
+                move || run(width, iterations, &[seed]),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]

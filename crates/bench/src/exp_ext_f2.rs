@@ -11,6 +11,8 @@
 //! containment violations, for `f = 1` (baseline sanity) and `f = 2`.
 
 use crate::common::standard_params;
+use crate::suite::{kv, Scenario};
+use crate::Scale;
 use trix_analysis::{fmt_f64, max_intra_layer_skew, Table};
 use trix_core::RobustRule;
 use trix_faults::{FaultBehavior, FaultySendModel};
@@ -89,6 +91,21 @@ pub fn run(width: usize, layers: usize, seeds: &[u64]) -> Table {
         ]);
     }
     table
+}
+
+/// Scenario decomposition for the sweep runner: one scenario comparing
+/// `f = 1` and `f = 2` on the same grid.
+pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
+    let (width, layers) = scale.pick((12usize, 8usize), (12, 8), (24, 16));
+    let seeds = trix_runner::scenario_seeds(base_seed, "ext_f2", 0, scale.seed_count());
+    let job_seeds = seeds.clone();
+    vec![Scenario::new(
+        "ext_f2",
+        format!("w={width},l={layers}"),
+        vec![kv("width", width), kv("layers", layers)],
+        &seeds,
+        move || run(width, layers, &job_seeds),
+    )]
 }
 
 #[cfg(test)]

@@ -9,6 +9,8 @@
 //! otherwise).
 
 use crate::common::{split_delay_env, square_grid, standard_params};
+use crate::suite::{kv, Scenario};
+use crate::Scale;
 use std::collections::HashSet;
 use trix_analysis::{fmt_f64, skew_by_layer, theory, Table};
 use trix_baselines::{run_hex_pulse, HexEnvironment, NaiveTrixRule};
@@ -87,6 +89,29 @@ pub fn run_hex_crash(width: usize, layers: usize) -> Table {
         ]);
     }
     table
+}
+
+/// Scenario decomposition for the sweep runner: the TRIX skew-by-layer
+/// series and the HEX crash comparison are independent scenarios.
+pub fn scenarios(scale: Scale, _base_seed: u64) -> Vec<Scenario> {
+    let skew_width = scale.pick(8usize, 12, 48);
+    let (hex_width, hex_layers) = scale.pick((8usize, 6usize), (8, 6), (16, 12));
+    vec![
+        Scenario::new(
+            "fig1_skew",
+            format!("w={skew_width}"),
+            vec![kv("width", skew_width)],
+            &[],
+            move || run_skew_by_layer(skew_width),
+        ),
+        Scenario::new(
+            "fig1_hex",
+            format!("w={hex_width},l={hex_layers}"),
+            vec![kv("width", hex_width), kv("layers", hex_layers)],
+            &[],
+            move || run_hex_crash(hex_width, hex_layers),
+        ),
+    ]
 }
 
 #[cfg(test)]

@@ -4,6 +4,8 @@
 //! line with both end nodes replicated (minimum degree 2), and in the
 //! layered graph `G` "most nodes have in- and out-degree 3, some 4".
 
+use crate::suite::{kv, Scenario};
+use crate::Scale;
 use trix_analysis::Table;
 use trix_topology::{BaseGraph, LayeredGraph};
 
@@ -45,6 +47,24 @@ pub fn run(widths: &[usize]) -> Table {
         ]);
     }
     table
+}
+
+/// Scenario decomposition for the sweep runner: one scenario per width
+/// (pure structure checks, no randomness).
+pub fn scenarios(scale: Scale, _base_seed: u64) -> Vec<Scenario> {
+    let widths = scale.pick(&[8usize, 16][..], &[8, 16, 32][..], &[8, 16, 32][..]);
+    widths
+        .iter()
+        .map(|&w| {
+            Scenario::new(
+                "fig23",
+                format!("w={w}"),
+                vec![kv("width", w)],
+                &[],
+                move || run(&[w]),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -8,15 +8,25 @@
 //! the three conditions at every level `s`.
 
 use crate::common::{run_gradient_trix, square_grid, standard_params};
+use crate::suite::{kv, Scenario, ScenarioResult};
+use crate::Scale;
 use trix_analysis::{fmt_f64, Summary, Table};
 use trix_core::{check_gcs_conditions, reconstruct_correction, GradientTrixRule};
 use trix_sim::CorrectSends;
 
 /// Runs the condition oracle over `seeds` runs of a `width`-wide grid.
 pub fn run(width: usize, pulses: usize, seeds: &[u64]) -> Table {
+    run_checked(width, pulses, seeds).table
+}
+
+/// Like [`run`], additionally surfacing every oracle violation — this is
+/// the paper's central correctness claim, so the harness treats a nonzero
+/// count as a failed run rather than a table footnote.
+pub fn run_checked(width: usize, pulses: usize, seeds: &[u64]) -> ScenarioResult {
     let p = standard_params();
     let rule = GradientTrixRule::new(p);
     let g = square_grid(width);
+    let mut violations = Vec::new();
     let mut table = Table::new(
         "Fig 4 — slow/fast/jump condition oracle (violations must be 0)",
         &[
@@ -40,6 +50,15 @@ pub fn run(width: usize, pulses: usize, seeds: &[u64]) -> Table {
                 trix_core::Condition::Jump => jc += 1,
             }
         }
+        if !report.all_hold() {
+            violations.push(format!(
+                "seed {seed}: {} of {} decisions violate the conditions \
+                 (SC {sc}, FC {fc}, JC {jc}); first: {:?}",
+                report.violations.len(),
+                report.checked,
+                report.violations.first()
+            ));
+        }
         let corrections: Vec<f64> = g
             .nodes()
             .filter(|n| n.layer > 0)
@@ -57,7 +76,27 @@ pub fn run(width: usize, pulses: usize, seeds: &[u64]) -> Table {
             fmt_f64(stats.max),
         ]);
     }
-    table
+    ScenarioResult { table, violations }
+}
+
+/// Scenario decomposition for the sweep runner: one scenario per derived
+/// seed (each seed is an independent oracle run).
+pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
+    let width = scale.pick(8usize, 10, 24);
+    let pulses = scale.pick(2usize, 3, 3);
+    let seeds = trix_runner::scenario_seeds(base_seed, "fig4", 0, scale.seed_count());
+    seeds
+        .iter()
+        .map(|&seed| {
+            Scenario::new(
+                "fig4",
+                format!("seed={seed:#x}"),
+                vec![kv("width", width), kv("pulses", pulses), kv("seed", seed)],
+                &[seed],
+                move || run_checked(width, pulses, &[seed]),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -25,6 +25,8 @@
 //! jump condition is still what brings the skew down to the `O(κ)` floor.
 
 use crate::common::standard_params;
+use crate::suite::{kv, Scenario};
+use crate::Scale;
 use trix_analysis::{fmt_f64, skew_by_layer, Table};
 use trix_core::{CorrectionConfig, GradientTrixRule, MissingNeighborPolicy, SimplifiedRule};
 use trix_sim::{run_dataflow, CorrectSends, OffsetLayer0, PulseRule, StaticEnvironment};
@@ -97,6 +99,28 @@ pub fn run(width: usize, layers: usize, margins_kappas: &[f64]) -> Table {
         table.row_values(&row);
     }
     table
+}
+
+/// Scenario decomposition for the sweep runner: one scenario covering the
+/// whole margin sweep (the margins share a single closed-form workload).
+pub fn scenarios(scale: Scale, _base_seed: u64) -> Vec<Scenario> {
+    let (width, layers) = scale.pick((8usize, 8usize), (8, 16), (16, 48));
+    let margins = scale.pick(
+        &[1.5, 0.0, -0.5][..],
+        &[1.5, 1.0, 0.5, 0.0, -0.5][..],
+        &[1.5, 1.0, 0.5, 0.0, -0.5][..],
+    );
+    vec![Scenario::new(
+        "fig5",
+        format!("w={width},l={layers}"),
+        vec![
+            kv("width", width),
+            kv("layers", layers),
+            kv("margins", format!("{margins:?}")),
+        ],
+        &[],
+        move || run(width, layers, margins),
+    )]
 }
 
 #[cfg(test)]

@@ -8,6 +8,8 @@
 //! is the actionable engineering content of Theorem 1.1: better wires or
 //! better oscillators buy proportionally better skew.
 
+use crate::suite::{kv, Scenario};
+use crate::Scale;
 use trix_analysis::{fmt_f64, max_intra_layer_skew, Table};
 use trix_core::{GradientTrixRule, Layer0Line, Params};
 use trix_sim::{run_dataflow, CorrectSends, Rng, StaticEnvironment};
@@ -56,6 +58,21 @@ pub fn run(width: usize, seeds: &[u64]) -> Table {
         ]);
     }
     table
+}
+
+/// Scenario decomposition for the sweep runner: one scenario covering the
+/// whole `(u, ϑ)` grid (rows share the topology).
+pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
+    let width = scale.pick(8usize, 10, 24);
+    let seeds = trix_runner::scenario_seeds(base_seed, "kappa_sweep", 0, scale.seed_count());
+    let job_seeds = seeds.clone();
+    vec![Scenario::new(
+        "kappa_sweep",
+        format!("w={width}"),
+        vec![kv("width", width)],
+        &seeds,
+        move || run(width, &job_seeds),
+    )]
 }
 
 #[cfg(test)]

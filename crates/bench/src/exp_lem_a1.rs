@@ -6,6 +6,8 @@
 //! positions that are two chain hops apart on the replicated-ends chain).
 
 use crate::common::standard_params;
+use crate::suite::{kv, Scenario};
+use crate::Scale;
 use trix_analysis::{fmt_f64, Table};
 use trix_core::Layer0Line;
 use trix_sim::Rng;
@@ -55,6 +57,28 @@ pub fn run(widths: &[usize], seeds: &[u64]) -> Table {
         ]);
     }
     table
+}
+
+/// Scenario decomposition for the sweep runner: one scenario per chain
+/// width.
+pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
+    let widths = scale.pick(&[16usize, 64][..], &[16, 64, 256][..], &[16, 64, 256][..]);
+    widths
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let seeds =
+                trix_runner::scenario_seeds(base_seed, "lem_a1", i as u64, scale.seed_count());
+            let job_seeds = seeds.clone();
+            Scenario::new(
+                "lem_a1",
+                format!("w={w}"),
+                vec![kv("width", w)],
+                &seeds,
+                move || run(&[w], &job_seeds),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -8,6 +8,8 @@
 //! and the degree/skew trade-off against Gradient TRIX.
 
 use crate::common::{run_gradient_trix, square_grid, standard_params};
+use crate::suite::{kv, Scenario};
+use crate::Scale;
 use trix_analysis::{fmt_f64, max_intra_layer_skew, Table};
 use trix_baselines::{run_lynch_welch, LynchWelchConfig};
 use trix_core::GradientTrixRule;
@@ -61,6 +63,21 @@ pub fn run(n: usize, f: usize, rounds: usize, seeds: &[u64]) -> Table {
         "Gradient TRIX, degree 3, D = 15 (for comparison)".into(),
     ]);
     table
+}
+
+/// Scenario decomposition for the sweep runner: one scenario (rounds are
+/// a convergence series of a single configuration).
+pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
+    let (n, f, rounds) = scale.pick((7usize, 2usize, 4usize), (7, 2, 6), (10, 3, 10));
+    let seeds = trix_runner::scenario_seeds(base_seed, "lynch_welch", 0, scale.seed_count());
+    let job_seeds = seeds.clone();
+    vec![Scenario::new(
+        "lynch_welch",
+        format!("n={n},f={f}"),
+        vec![kv("n", n), kv("f", f), kv("rounds", rounds)],
+        &seeds,
+        move || run(n, f, rounds, &job_seeds),
+    )]
 }
 
 #[cfg(test)]

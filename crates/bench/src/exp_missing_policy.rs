@@ -7,14 +7,24 @@
 //! paper's `2κ` slack.
 
 use crate::common::{run_gradient_trix, square_grid, standard_params};
+use crate::suite::{kv, Scenario, ScenarioResult};
+use crate::Scale;
 use trix_analysis::{fmt_f64, max_intra_layer_skew, Table};
 use trix_core::{check_pulse_interval, CorrectionConfig, GradientTrixRule, MissingNeighborPolicy};
 use trix_faults::{FaultBehavior, FaultySendModel};
 
 /// Runs the policy ablation with `f` silent faults.
 pub fn run(width: usize, f: usize, pulses: usize, seeds: &[u64]) -> Table {
+    run_checked(width, f, pulses, seeds).table
+}
+
+/// Like [`run`], additionally surfacing Corollary 4.29 oracle failures:
+/// at the generous `4κ` slack *both* policies must hold (the `2κ` column
+/// is the ablation's discriminator and may legitimately be nonzero).
+pub fn run_checked(width: usize, f: usize, pulses: usize, seeds: &[u64]) -> ScenarioResult {
     let p = standard_params();
     let g = square_grid(width);
+    let mut violations = Vec::new();
     let mut table = Table::new(
         "Missing-neighbor policy ablation (silent faults)",
         &[
@@ -50,6 +60,11 @@ pub fn run(width: usize, f: usize, pulses: usize, seeds: &[u64]) -> Table {
             viol2 += check_pulse_interval(&g, &trace, &p, 0..pulses, 2.0).len();
             viol4 += check_pulse_interval(&g, &trace, &p, 0..pulses, 4.0).len();
         }
+        if viol4 > 0 {
+            violations.push(format!(
+                "policy {policy:?}: {viol4} Cor 4.29 interval violations at 4κ slack"
+            ));
+        }
         table.row_values(&[
             format!("{policy:?}"),
             fmt_f64(worst),
@@ -57,7 +72,22 @@ pub fn run(width: usize, f: usize, pulses: usize, seeds: &[u64]) -> Table {
             viol4.to_string(),
         ]);
     }
-    table
+    ScenarioResult { table, violations }
+}
+
+/// Scenario decomposition for the sweep runner: one scenario comparing
+/// both policies on the same fault pattern.
+pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
+    let (width, f, pulses) = scale.pick((10usize, 4usize, 2usize), (10, 4, 3), (16, 4, 3));
+    let seeds = trix_runner::scenario_seeds(base_seed, "missing_policy", 0, scale.seed_count());
+    let job_seeds = seeds.clone();
+    vec![Scenario::new(
+        "missing_policy",
+        format!("w={width},f={f}"),
+        vec![kv("width", width), kv("f", f), kv("pulses", pulses)],
+        &seeds,
+        move || run_checked(width, f, pulses, &job_seeds),
+    )]
 }
 
 #[cfg(test)]

@@ -12,6 +12,8 @@
 //! the disturbed layer and check geometric decay back to the baseline.
 
 use crate::common::{grid, standard_params};
+use crate::suite::{kv, Scenario};
+use crate::Scale;
 use trix_analysis::{fmt_f64, skew_by_layer, Table};
 use trix_core::{GradientTrixRule, Params};
 use trix_sim::{run_dataflow, CorrectSends, Layer0Source, OffsetLayer0, StaticEnvironment};
@@ -83,6 +85,24 @@ pub fn recovery_depth(
     let series = skew_by_layer(&g, &trace, 0);
     let target = target_kappas * p.kappa().as_f64();
     series.iter().position(|s| s.is_some_and(|s| s <= target))
+}
+
+/// Scenario decomposition for the sweep runner: one deterministic
+/// closed-form scenario.
+pub fn scenarios(scale: Scale, _base_seed: u64) -> Vec<Scenario> {
+    let (width, layers) = scale.pick((8usize, 12usize), (10, 16), (16, 48));
+    let amplitude_kappas = 20.0;
+    vec![Scenario::new(
+        "recovery",
+        format!("w={width},l={layers}"),
+        vec![
+            kv("width", width),
+            kv("layers", layers),
+            kv("amplitude_kappas", amplitude_kappas),
+        ],
+        &[],
+        move || run(width, layers, amplitude_kappas),
+    )]
 }
 
 #[cfg(test)]

@@ -12,6 +12,8 @@
 //!   degree and logarithmic skew.
 
 use crate::common::{split_delay_env, square_grid, standard_params};
+use crate::suite::{kv, Scenario};
+use crate::Scale;
 use std::collections::HashSet;
 use trix_analysis::{fmt_f64, intra_layer_skew, theory, Table};
 use trix_baselines::{run_hex_pulse, HexEnvironment, NaiveTrixRule};
@@ -97,6 +99,24 @@ pub fn run(widths: &[usize]) -> Table {
         ]);
     }
     table
+}
+
+/// Scenario decomposition for the sweep runner: one scenario per grid
+/// width (widths are independent columns of Table 1).
+pub fn scenarios(scale: Scale, _base_seed: u64) -> Vec<Scenario> {
+    let widths = scale.pick(&[8usize][..], &[8, 16][..], &[8, 16, 32, 64][..]);
+    widths
+        .iter()
+        .map(|&w| {
+            Scenario::new(
+                "table1",
+                format!("w={w}"),
+                vec![kv("width", w)],
+                &[],
+                move || run(&[w]),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]

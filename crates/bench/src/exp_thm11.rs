@@ -10,6 +10,8 @@
 use crate::common::{
     run_gradient_trix, run_gradient_trix_with_env, split_delay_env, square_grid, standard_params,
 };
+use crate::suite::{kv, Scenario};
+use crate::Scale;
 use trix_analysis::{fmt_f64, max_intra_layer_skew, theory, Table};
 use trix_core::GradientTrixRule;
 use trix_sim::CorrectSends;
@@ -54,6 +56,29 @@ pub fn run(widths: &[usize], pulses: usize, seeds: &[u64]) -> Table {
         ]);
     }
     table
+}
+
+/// Scenario decomposition for the sweep runner: one scenario per grid
+/// width.
+pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
+    let widths = scale.pick(&[8usize][..], &[8, 16][..], &[8, 16, 32, 64, 128][..]);
+    let pulses = 3;
+    widths
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let seeds =
+                trix_runner::scenario_seeds(base_seed, "thm11", i as u64, scale.seed_count());
+            let job_seeds = seeds.clone();
+            Scenario::new(
+                "thm11",
+                format!("w={w}"),
+                vec![kv("width", w), kv("pulses", pulses)],
+                &seeds,
+                move || run(&[w], pulses, &job_seeds),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -12,6 +12,8 @@
 //! at most exponential with base ≤ 5 and the envelope is never exceeded.
 
 use crate::common::{run_gradient_trix, square_grid, standard_params};
+use crate::suite::{kv, Scenario};
+use crate::Scale;
 use trix_analysis::{fmt_f64, max_intra_layer_skew, theory, Table};
 use trix_core::GradientTrixRule;
 use trix_faults::{clustered_column, FaultBehavior, FaultySendModel};
@@ -71,6 +73,21 @@ pub fn run(width: usize, f_max: usize, pulses: usize, seeds: &[u64]) -> Table {
         prev = Some(worst);
     }
     table
+}
+
+/// Scenario decomposition for the sweep runner: one scenario (the `f`
+/// ladder shares the grid and compares consecutive rows).
+pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
+    let (width, f_max, pulses) = scale.pick((12usize, 3usize, 2usize), (12, 4, 2), (32, 4, 2));
+    let seeds = trix_runner::scenario_seeds(base_seed, "thm12", 0, scale.seed_count());
+    let job_seeds = seeds.clone();
+    vec![Scenario::new(
+        "thm12",
+        format!("w={width},f<={f_max}"),
+        vec![kv("width", width), kv("f_max", f_max), kv("pulses", pulses)],
+        &seeds,
+        move || run(width, f_max, pulses, &job_seeds),
+    )]
 }
 
 #[cfg(test)]

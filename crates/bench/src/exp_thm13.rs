@@ -12,6 +12,8 @@
 //! reference line, and the max distance-δ k-faulty value.
 
 use crate::common::{run_gradient_trix, square_grid, standard_params};
+use crate::suite::{kv, Scenario};
+use crate::Scale;
 use trix_analysis::{fmt_f64, max_intra_layer_skew, theory, Table};
 use trix_core::GradientTrixRule;
 use trix_faults::{sample_one_local, FaultBehavior, FaultySendModel};
@@ -92,6 +94,30 @@ pub fn run(widths: &[usize], c: f64, pulses: usize, seeds: &[u64]) -> Table {
         ]);
     }
     table
+}
+
+/// Scenario decomposition for the sweep runner: one scenario per grid
+/// width.
+pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
+    let widths = scale.pick(&[16usize][..], &[16][..], &[16, 32, 64][..]);
+    let c = 0.4;
+    let pulses = scale.pick(2usize, 3, 3);
+    widths
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let seeds =
+                trix_runner::scenario_seeds(base_seed, "thm13", i as u64, scale.seed_count());
+            let job_seeds = seeds.clone();
+            Scenario::new(
+                "thm13",
+                format!("w={w}"),
+                vec![kv("width", w), kv("c", c), kv("pulses", pulses)],
+                &seeds,
+                move || run(&[w], c, pulses, &job_seeds),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -10,6 +10,8 @@
 //! `n^{-1/2}·(ϑ−1)·log D` per pulse.
 
 use crate::common::{run_gradient_trix, square_grid, standard_params};
+use crate::suite::{kv, Scenario};
+use crate::Scale;
 use trix_analysis::{fmt_f64, full_local_skew, theory, Table};
 use trix_core::{GradientTrixRule, Layer0Line, Params};
 use trix_faults::{sample_one_local, FaultBehavior, FaultySendModel};
@@ -149,6 +151,21 @@ pub fn run(width: usize, pulses: usize, seeds: &[u64]) -> Table {
         ]);
     }
     table
+}
+
+/// Scenario decomposition for the sweep runner: one scenario (static vs
+/// slowly-varying environments share the grid).
+pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
+    let (width, pulses) = scale.pick((12usize, 3usize), (12, 4), (32, 8));
+    let seeds = trix_runner::scenario_seeds(base_seed, "thm14", 0, scale.seed_count());
+    let job_seeds = seeds.clone();
+    vec![Scenario::new(
+        "thm14",
+        format!("w={width}"),
+        vec![kv("width", width), kv("pulses", pulses)],
+        &seeds,
+        move || run(width, pulses, &job_seeds),
+    )]
 }
 
 #[cfg(test)]

@@ -14,6 +14,8 @@
 //! square layout).
 
 use crate::common::{square_grid, standard_params};
+use crate::suite::{kv, Scenario};
+use crate::Scale;
 use std::collections::HashSet;
 use trix_analysis::{fmt_f64, theory, Table};
 use trix_core::GridNodeConfig;
@@ -188,9 +190,55 @@ pub fn run_layer0(width: usize, seeds: &[u64]) -> Table {
     table
 }
 
+/// Scenario decomposition for the sweep runner: one scenario per scrambled
+/// grid width, plus the layer-0 line stabilization check.
+///
+/// The event-driven scenarios are the most expensive in the suite, so they
+/// cap at two seeds even at full scale (matching the historical harness).
+pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
+    let widths = scale.pick(&[4usize][..], &[4][..], &[4, 6, 8][..]);
+    let des_seeds = scale.seed_count().min(2);
+    let mut out: Vec<Scenario> = widths
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let seeds = trix_runner::scenario_seeds(base_seed, "thm16", i as u64, des_seeds);
+            let job_seeds = seeds.clone();
+            Scenario::new(
+                "thm16",
+                format!("w={w}"),
+                vec![kv("width", w)],
+                &seeds,
+                move || run(&[w], &job_seeds),
+            )
+        })
+        .collect();
+    let l0_width = scale.pick(8usize, 8, 32);
+    let seeds = trix_runner::scenario_seeds(base_seed, "thm16_layer0", 0, scale.seed_count());
+    let job_seeds = seeds.clone();
+    out.push(Scenario::new(
+        "thm16_layer0",
+        format!("w={l0_width}"),
+        vec![kv("width", l0_width)],
+        &seeds,
+        move || run_layer0(l0_width, &job_seeds),
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression: this derived seed scrambles a width-6 grid into a state
+    /// whose recorded `H_min`/`H_max` invert once a genuine early pulse
+    /// arrives — the node must sanitize (and stabilize) instead of
+    /// panicking in `correction()` (`H_max must be at least H_min`).
+    #[test]
+    fn scrambled_state_with_inverted_extremes_stabilizes() {
+        let t = run(&[6], &[0xe55d_45f8_9bf6_23a1]);
+        assert_eq!(t.len(), 2);
+    }
 
     #[test]
     fn stabilization_detector() {

@@ -16,6 +16,8 @@
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod suite;
+
 pub mod exp_adversary;
 pub mod exp_cor423;
 pub mod exp_ext_f2;
@@ -35,116 +37,105 @@ pub mod exp_thm13;
 pub mod exp_thm14;
 pub mod exp_thm16;
 
+use suite::{Scenario, SuiteOutcome};
 use trix_analysis::Table;
 
 /// Scale of an experiment run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
+    /// Tiny sizes for the CI bench-smoke gate (a second or two).
+    Smoke,
     /// Small sizes for CI / benches (seconds).
     Quick,
     /// Paper-scale sizes for the harness (a few minutes).
     Full,
 }
 
-/// Runs every experiment and returns the tables in presentation order.
-pub fn run_all(scale: Scale) -> Vec<Table> {
-    let quick = scale == Scale::Quick;
-    let seeds: Vec<u64> = if quick { vec![0, 1] } else { vec![0, 1, 2, 3] };
-    let mut tables = Vec::new();
+impl Scale {
+    /// The scale's lowercase name (as used in CLI flags and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
 
+    /// Picks the value for this scale from `(smoke, quick, full)`.
+    pub(crate) fn pick<T>(self, smoke: T, quick: T, full: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+
+    /// How many derived seeds multi-seed experiments use at this scale.
+    pub(crate) fn seed_count(self) -> usize {
+        self.pick(1, 2, 4)
+    }
+}
+
+/// The full suite's scenario list, in presentation order.
+///
+/// Each experiment module owns its decomposition (`exp_*::scenarios`);
+/// per-scenario seeds derive from `(base_seed, experiment name, scenario
+/// index)`, so the list — and with it every record of a sweep — is
+/// independent of thread count and stable under suite reordering.
+pub fn all_scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
     // §1 Table 1.
-    tables.push(exp_table1::run(if quick {
-        &[8, 16]
-    } else {
-        &[8, 16, 32, 64]
-    }));
+    scenarios.extend(exp_table1::scenarios(scale, base_seed));
     // §2 Figure 1.
-    tables.push(exp_fig1::run_skew_by_layer(if quick { 12 } else { 48 }));
-    tables.push(exp_fig1::run_hex_crash(
-        if quick { 8 } else { 16 },
-        if quick { 6 } else { 12 },
-    ));
+    scenarios.extend(exp_fig1::scenarios(scale, base_seed));
     // §3 Figures 2/3.
-    tables.push(exp_fig23::run(&[8, 16, 32]));
+    scenarios.extend(exp_fig23::scenarios(scale, base_seed));
     // §4 Figure 4.
-    tables.push(exp_fig4::run(if quick { 10 } else { 24 }, 3, &seeds));
+    scenarios.extend(exp_fig4::scenarios(scale, base_seed));
     // §5 Figure 5.
-    tables.push(exp_fig5::run(
-        if quick { 8 } else { 16 },
-        if quick { 16 } else { 48 },
-        &[1.5, 1.0, 0.5, 0.0, -0.5],
-    ));
+    scenarios.extend(exp_fig5::scenarios(scale, base_seed));
     // §6 Theorem 1.1.
-    tables.push(exp_thm11::run(
-        if quick {
-            &[8, 16]
-        } else {
-            &[8, 16, 32, 64, 128]
-        },
-        3,
-        &seeds,
-    ));
+    scenarios.extend(exp_thm11::scenarios(scale, base_seed));
     // §7 Theorem 1.2.
-    tables.push(exp_thm12::run(if quick { 12 } else { 32 }, 4, 2, &seeds));
+    scenarios.extend(exp_thm12::scenarios(scale, base_seed));
     // §8 Theorem 1.3.
-    tables.push(exp_thm13::run(
-        if quick { &[16] } else { &[16, 32, 64] },
-        0.4,
-        3,
-        &seeds,
-    ));
+    scenarios.extend(exp_thm13::scenarios(scale, base_seed));
     // §9 Theorem 1.4 / Corollary 1.5.
-    tables.push(exp_thm14::run(
-        if quick { 12 } else { 32 },
-        if quick { 4 } else { 8 },
-        &seeds,
-    ));
+    scenarios.extend(exp_thm14::scenarios(scale, base_seed));
     // §10 Theorem 1.6.
-    tables.push(exp_thm16::run(
-        if quick { &[4] } else { &[4, 6, 8] },
-        &seeds[..2.min(seeds.len())],
-    ));
-    tables.push(exp_thm16::run_layer0(if quick { 8 } else { 32 }, &seeds));
+    scenarios.extend(exp_thm16::scenarios(scale, base_seed));
     // §11 Lemma A.1.
-    tables.push(exp_lem_a1::run(&[16, 64, 256], &seeds));
+    scenarios.extend(exp_lem_a1::scenarios(scale, base_seed));
     // §12 Corollaries 4.23/4.24.
-    tables.push(exp_cor423::run(if quick { 12 } else { 32 }, 3, &seeds));
+    scenarios.extend(exp_cor423::scenarios(scale, base_seed));
     // §13 Missing-neighbor policy ablation.
-    tables.push(exp_missing_policy::run(
-        if quick { 10 } else { 16 },
-        4,
-        3,
-        &seeds,
-    ));
+    scenarios.extend(exp_missing_policy::scenarios(scale, base_seed));
     // §14 κ sensitivity ablation.
-    tables.push(exp_kappa_sweep::run(if quick { 10 } else { 24 }, &seeds));
+    scenarios.extend(exp_kappa_sweep::scenarios(scale, base_seed));
     // §15 Extension: f-local faults at in-degree 2f+1 (open question 3).
-    tables.push(exp_ext_f2::run(
-        if quick { 12 } else { 24 },
-        if quick { 8 } else { 16 },
-        &seeds,
-    ));
+    scenarios.extend(exp_ext_f2::scenarios(scale, base_seed));
     // §16 Table 1's complete-graph rows: Lynch–Welch.
-    tables.push(exp_lynch_welch::run(
-        if quick { 7 } else { 10 },
-        if quick { 2 } else { 3 },
-        if quick { 6 } else { 10 },
-        &seeds,
-    ));
+    scenarios.extend(exp_lynch_welch::scenarios(scale, base_seed));
     // §17 Thm 4.26 gradient recovery after a disturbance.
-    tables.push(exp_recovery::run(
-        if quick { 10 } else { 16 },
-        if quick { 16 } else { 48 },
-        20.0,
-    ));
+    scenarios.extend(exp_recovery::scenarios(scale, base_seed));
     // §18 Adversarial delay search.
-    tables.push(exp_adversary::run(
-        if quick { 8 } else { 16 },
-        if quick { 20 } else { 150 },
-        &seeds[..2.min(seeds.len())],
-    ));
+    scenarios.extend(exp_adversary::scenarios(scale, base_seed));
+    scenarios
+}
 
-    tables
+/// Runs the full suite sharded over `threads` OS threads (0 = one per
+/// CPU) and returns tables, benchmark records, and oracle violations.
+///
+/// Bit-for-bit deterministic: everything except per-record wall times is
+/// identical for every `threads` value (`tests/parallel_determinism.rs`).
+pub fn run_suite(scale: Scale, base_seed: u64, threads: usize) -> SuiteOutcome {
+    suite::run_scenarios(all_scenarios(scale, base_seed), scale, base_seed, threads)
+}
+
+/// Runs every experiment serially and returns the tables in presentation
+/// order (compatibility entry point; seeds derive from base seed 0).
+pub fn run_all(scale: Scale) -> Vec<Table> {
+    run_suite(scale, 0, 1).tables
 }
 
 #[cfg(test)]
@@ -153,10 +144,41 @@ mod tests {
 
     #[test]
     fn quick_run_produces_all_tables() {
-        let tables = run_all(Scale::Quick);
-        assert_eq!(tables.len(), 20);
-        for t in &tables {
+        let outcome = run_suite(Scale::Quick, 0, 1);
+        assert_eq!(outcome.tables.len(), 20);
+        for t in &outcome.tables {
             assert!(!t.is_empty(), "empty table: {}", t.to_markdown());
+        }
+        assert_eq!(
+            outcome.report.records.len(),
+            all_scenarios(Scale::Quick, 0).len()
+        );
+        assert!(
+            outcome.violations.is_empty(),
+            "oracle violations: {:?}",
+            outcome.violations
+        );
+        // Every record carries rows; simulation-backed ones count events
+        // (pure-topology/offset experiments like fig23 and lem_a1 don't
+        // simulate).
+        for r in &outcome.report.records {
+            assert!(r.rows > 0, "{}: no rows", r.experiment);
+        }
+        let simulated = outcome
+            .report
+            .records
+            .iter()
+            .filter(|r| r.events > 0)
+            .count();
+        assert!(simulated >= outcome.report.records.len() / 2);
+    }
+
+    #[test]
+    fn smoke_run_is_complete_and_small() {
+        let outcome = run_suite(Scale::Smoke, 0, 0);
+        assert_eq!(outcome.tables.len(), 20);
+        for t in &outcome.tables {
+            assert!(!t.is_empty());
         }
     }
 }

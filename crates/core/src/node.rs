@@ -168,9 +168,11 @@ impl GradientTrixNode {
         } else if let Some(j) = self.neighbor_preds.iter().position(|&p| p == from) {
             if !self.heard[j] {
                 self.heard[j] = true;
-                if self.h_min.is_none() {
-                    self.h_min = Some(at);
-                }
+                // True running minimum. In clean executions the first
+                // reception *is* the minimum (local clocks are monotone),
+                // but a scrambled initial state (Thm 1.6) can hold a bogus
+                // later H_min that a genuine early pulse must displace.
+                self.h_min = Some(self.h_min.map_or(at, |m| m.min(at)));
                 if self.heard.iter().all(|&h| h) {
                     self.h_max = Some(self.h_max.map_or(at, |m| m.max(at)));
                 } else {
@@ -239,7 +241,11 @@ impl GradientTrixNode {
             }
             Some(h_own) => {
                 let h_min = self.h_min.expect("exit requires H_min");
-                let c = correction(&p, h_own, h_min, self.h_max, &self.cfg.correction);
+                // A corrupted initial state can leave the recorded extremes
+                // inverted; sanitize instead of panicking — stabilization
+                // (Thm 1.6) must make progress from *any* state.
+                let h_max = self.h_max.map(|m| m.max(h_min));
+                let c = correction(&p, h_own, h_min, h_max, &self.cfg.correction);
                 h_own + lmd - c
             }
         };

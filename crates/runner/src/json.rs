@@ -1,0 +1,296 @@
+//! The versioned benchmark-record schema and its JSON writer.
+//!
+//! The container has no registry access, so instead of `serde` this module
+//! hand-writes the (small, flat) schema. Formatting is deterministic:
+//! fields appear in a fixed order, floats use Rust's shortest round-trip
+//! `Display`, and map-like data is kept as ordered pairs — two reports
+//! with equal contents serialize to identical bytes.
+
+use std::fmt::Write as _;
+
+/// Version of the `BENCH_*.json` schema.
+///
+/// Bump when a field is added, removed, or changes meaning, so trajectory
+/// tooling can dispatch on it.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Summary statistics over the numeric cells of one scenario's table rows
+/// (for skew experiments these are the skew columns).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ValueStats {
+    /// Smallest numeric cell.
+    pub min: f64,
+    /// Largest numeric cell.
+    pub max: f64,
+    /// Mean of the numeric cells.
+    pub mean: f64,
+    /// Number of numeric cells.
+    pub count: usize,
+}
+
+impl ValueStats {
+    /// Computes stats over `values`; `None` if empty.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Option<Self> {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            count += 1;
+        }
+        (count > 0).then(|| Self {
+            min,
+            max,
+            mean: sum / count as f64,
+            count,
+        })
+    }
+}
+
+/// One scenario's machine-readable result.
+///
+/// Everything except [`BenchRecord::wall_secs`] is a pure function of the
+/// scenario definition and the base seed, so records from sweeps with any
+/// `--threads` value are byte-identical modulo that one field (pinned by
+/// `tests/parallel_determinism.rs`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Experiment this scenario belongs to (e.g. `"thm11"`).
+    pub experiment: String,
+    /// Human-readable scenario label (e.g. `"w=32"`).
+    pub scenario: String,
+    /// Scenario parameters as ordered key/value pairs.
+    pub params: Vec<(String, String)>,
+    /// Seeds the scenario ran under (derived, not chosen).
+    pub seeds: Vec<u64>,
+    /// Table rows the scenario produced.
+    pub rows: usize,
+    /// Simulated events executed (dataflow rule evaluations + DES events).
+    pub events: u64,
+    /// FNV-1a fingerprint of the scenario's table cells.
+    pub fingerprint: u64,
+    /// Stats over the numeric table cells, if any.
+    pub values: Option<ValueStats>,
+    /// Wall-clock seconds the scenario took (volatile; excluded from
+    /// determinism comparisons).
+    pub wall_secs: f64,
+}
+
+/// A full sweep's machine-readable result — the `BENCH_*.json` payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Name of the suite or experiment the report covers.
+    pub suite: String,
+    /// Scale the sweep ran at (`"smoke"`, `"quick"`, `"full"`).
+    pub scale: String,
+    /// Base seed of the sweep.
+    pub base_seed: u64,
+    /// One record per scenario, in suite order.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// A copy with every volatile (wall-time) field zeroed, for
+    /// byte-identity comparisons across thread counts.
+    pub fn canonicalized(&self) -> Self {
+        let mut copy = self.clone();
+        for r in &mut copy.records {
+            r.wall_secs = 0.0;
+        }
+        copy
+    }
+
+    /// A report containing only records of `experiment`.
+    pub fn filtered(&self, experiment: &str) -> Self {
+        Self {
+            suite: experiment.to_owned(),
+            scale: self.scale.clone(),
+            base_seed: self.base_seed,
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.experiment == experiment)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {BENCH_SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"suite\": \"{}\",", json_escape(&self.suite));
+        let _ = writeln!(out, "  \"scale\": \"{}\",", json_escape(&self.scale));
+        let _ = writeln!(out, "  \"base_seed\": {},", self.base_seed);
+        out.push_str("  \"records\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            r.write_json(&mut out, "    ");
+        }
+        if !self.records.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl BenchRecord {
+    fn write_json(&self, out: &mut String, indent: &str) {
+        let _ = write!(out, "{indent}{{");
+        let _ = write!(
+            out,
+            "\"experiment\": \"{}\", \"scenario\": \"{}\"",
+            json_escape(&self.experiment),
+            json_escape(&self.scenario)
+        );
+        let _ = write!(out, ", \"params\": {{");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": \"{}\"", json_escape(k), json_escape(v));
+        }
+        out.push('}');
+        let _ = write!(out, ", \"seeds\": [");
+        for (i, s) in self.seeds.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{s}");
+        }
+        out.push(']');
+        let _ = write!(out, ", \"rows\": {}", self.rows);
+        let _ = write!(out, ", \"events\": {}", self.events);
+        let _ = write!(out, ", \"fingerprint\": \"{:#018x}\"", self.fingerprint);
+        match &self.values {
+            Some(v) => {
+                let _ = write!(
+                    out,
+                    ", \"values\": {{\"min\": {}, \"max\": {}, \"mean\": {}, \"count\": {}}}",
+                    fmt_json_f64(v.min),
+                    fmt_json_f64(v.max),
+                    fmt_json_f64(v.mean),
+                    v.count
+                );
+            }
+            None => out.push_str(", \"values\": null"),
+        }
+        let _ = write!(out, ", \"wall_secs\": {}", fmt_json_f64(self.wall_secs));
+        out.push('}');
+    }
+}
+
+/// Formats a float as a JSON number (JSON has no `Infinity`/`NaN`; those
+/// become `null`).
+fn fmt_json_f64(x: f64) -> String {
+    if x.is_finite() {
+        // Rust's `Display` prints the shortest decimal that round-trips,
+        // but bare integers (`1`) need a fractional marker to stay typed
+        // as floats for picky consumers — match serde_json and leave them
+        // as-is; JSON numbers are untyped anyway.
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            suite: "demo".into(),
+            scale: "quick".into(),
+            base_seed: 7,
+            records: vec![BenchRecord {
+                experiment: "thm11".into(),
+                scenario: "w=8".into(),
+                params: vec![("width".into(), "8".into())],
+                seeds: vec![1, 2],
+                rows: 1,
+                events: 192,
+                fingerprint: 0xDEAD_BEEF,
+                values: ValueStats::of([1.0, 3.0]),
+                wall_secs: 0.25,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_contains_versioned_schema_and_fields() {
+        let j = sample().to_json();
+        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"experiment\": \"thm11\""));
+        assert!(j.contains("\"params\": {\"width\": \"8\"}"));
+        assert!(j.contains("\"seeds\": [1, 2]"));
+        assert!(j.contains("\"events\": 192"));
+        assert!(j.contains("\"fingerprint\": \"0x00000000deadbeef\""));
+        assert!(j.contains("\"values\": {\"min\": 1, \"max\": 3, \"mean\": 2, \"count\": 2}"));
+        assert!(j.contains("\"wall_secs\": 0.25"));
+    }
+
+    #[test]
+    fn canonicalized_zeroes_wall_time_only() {
+        let r = sample();
+        let c = r.canonicalized();
+        assert_eq!(c.records[0].wall_secs, 0.0);
+        assert_eq!(c.records[0].events, r.records[0].events);
+        // Identical sweeps differing only in wall time serialize equal
+        // after canonicalization.
+        let mut other = sample();
+        other.records[0].wall_secs = 99.0;
+        assert_eq!(c.to_json(), other.canonicalized().to_json());
+    }
+
+    #[test]
+    fn filtered_keeps_matching_records() {
+        let mut r = sample();
+        let mut second = r.records[0].clone();
+        second.experiment = "thm12".into();
+        r.records.push(second);
+        let only = r.filtered("thm12");
+        assert_eq!(only.records.len(), 1);
+        assert_eq!(only.suite, "thm12");
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn value_stats_of_empty_is_none() {
+        assert!(ValueStats::of([]).is_none());
+        let s = ValueStats::of([2.0, 4.0, 6.0]).unwrap();
+        assert_eq!((s.min, s.max, s.mean, s.count), (2.0, 6.0, 4.0, 3));
+    }
+}

@@ -278,6 +278,7 @@ pub fn run_dataflow(
                 }
                 let clock = env.clock(k, target);
                 let t = rule.pulse_time(target, k, own, &neighbor_arrivals, &clock);
+                crate::metrics::bump(1);
                 trace.set_time(k, target, t);
             }
         }

@@ -36,11 +36,12 @@
 mod dataflow;
 mod des;
 mod env;
+pub mod metrics;
 mod rng;
 
 pub use dataflow::{
     run_dataflow, CorrectSends, Layer0Source, OffsetLayer0, PulseRule, PulseTrace, SendModel,
 };
-pub use des::{Broadcast, Des, Link, Node, NodeApi};
+pub use des::{Broadcast, Des, EventQueue, Link, Node, NodeApi};
 pub use env::{Environment, PerPulseEnvironment, SequenceEnvironment, StaticEnvironment};
 pub use rng::{splitmix64, Rng};

@@ -1,0 +1,48 @@
+//! Thread-local simulated-event counters.
+//!
+//! The sweep runner attributes simulation work to scenarios by resetting
+//! this counter before a scenario runs and reading it afterwards. Each
+//! scenario executes on exactly one worker thread, so a thread-local
+//! counter gives exact per-scenario event counts that are independent of
+//! how many worker threads the sweep uses — a prerequisite for
+//! byte-identical benchmark records across `--threads` settings.
+//!
+//! Both engines report here: the dataflow executor counts one event per
+//! pulse-rule evaluation, the DES engine one per processed queue event.
+
+use std::cell::Cell;
+
+thread_local! {
+    static SIM_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Resets the calling thread's simulated-event counter to zero.
+pub fn reset() {
+    SIM_EVENTS.with(|c| c.set(0));
+}
+
+/// The calling thread's simulated-event count since the last [`reset`].
+pub fn total() -> u64 {
+    SIM_EVENTS.with(|c| c.get())
+}
+
+#[inline]
+pub(crate) fn bump(n: u64) {
+    SIM_EVENTS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        reset();
+        assert_eq!(total(), 0);
+        bump(3);
+        bump(4);
+        assert_eq!(total(), 7);
+        reset();
+        assert_eq!(total(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Parallel-vs-serial determinism of the scenario-sweep runner: sharding
+//! the experiment suite across OS threads must be **bit-for-bit**
+//! equivalent to the serial sweep — the same guarantee
+//! `tests/determinism.rs` pins for single executions, lifted to whole
+//! sweeps.
+
+use trix_bench::{run_suite, Scale};
+use trix_runner::{Fnv, SweepRunner};
+
+/// FNV fingerprint of a sweep outcome: every table cell and every
+/// non-volatile record field (same harness as `tests/determinism.rs`,
+/// via [`trix_runner::Fnv`]).
+fn sweep_fingerprint(scale: Scale, base_seed: u64, threads: usize) -> u64 {
+    let outcome = run_suite(scale, base_seed, threads);
+    let mut h = Fnv::new();
+    for table in &outcome.tables {
+        h.write_str(table.title());
+        for row in table.rows() {
+            for cell in row {
+                h.write_str(cell);
+            }
+        }
+    }
+    for record in &outcome.report.records {
+        h.write_str(&record.experiment);
+        h.write_str(&record.scenario);
+        for (k, v) in &record.params {
+            h.write_str(k);
+            h.write_str(v);
+        }
+        for &seed in &record.seeds {
+            h.write_u64(seed);
+        }
+        h.write_u64(record.rows as u64);
+        h.write_u64(record.events);
+        h.write_u64(record.fingerprint);
+    }
+    h.finish()
+}
+
+#[test]
+fn sharded_sweep_equals_serial_sweep() {
+    let serial = sweep_fingerprint(Scale::Smoke, 0xDE7E_2517, 1);
+    let sharded = sweep_fingerprint(Scale::Smoke, 0xDE7E_2517, 4);
+    assert_eq!(
+        serial, sharded,
+        "4-thread sweep diverged from the serial sweep"
+    );
+}
+
+#[test]
+fn sharded_sweep_is_stable_across_repeats_and_widths() {
+    let reference = sweep_fingerprint(Scale::Smoke, 1, 2);
+    for threads in [2, 8] {
+        assert_eq!(
+            reference,
+            sweep_fingerprint(Scale::Smoke, 1, threads),
+            "thread count {threads} changed the sweep"
+        );
+    }
+}
+
+#[test]
+fn different_base_seeds_produce_different_sweeps() {
+    assert_ne!(
+        sweep_fingerprint(Scale::Smoke, 1, 2),
+        sweep_fingerprint(Scale::Smoke, 2, 2),
+        "base seed must reach the scenario seeds"
+    );
+}
+
+#[test]
+fn canonical_json_reports_are_byte_identical_across_thread_counts() {
+    let serial = run_suite(Scale::Smoke, 7, 1).report.canonicalized();
+    let sharded = run_suite(Scale::Smoke, 7, 3).report.canonicalized();
+    assert_eq!(serial.to_json(), sharded.to_json());
+}
+
+#[test]
+fn runner_preserves_order_under_uneven_load() {
+    // Direct runner check with deliberately skewed per-item cost.
+    let items: Vec<u64> = (0..40).collect();
+    let work = |i: usize, x: u64| {
+        if x.is_multiple_of(5) {
+            std::hint::black_box((0..50_000u64).sum::<u64>());
+        }
+        (i, x * 3)
+    };
+    let serial = SweepRunner::new(1).run(items.clone(), work);
+    let sharded = SweepRunner::new(6).run(items, work);
+    assert_eq!(serial, sharded);
+}
