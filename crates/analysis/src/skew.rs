@@ -10,10 +10,28 @@
 //! * `L = sup_ℓ max(L_ℓ, L_{ℓ,ℓ+1})` — the full local skew;
 //! * the global skew — worst same-layer pulse-time difference over *all*
 //!   pairs, adjacent or not.
+//!
+//! The edge iteration and worst-pair folds live in `trix_obs::defs`,
+//! shared with the streaming monitor (`trix_obs::StreamingSkew`): this
+//! module supplies the trace lookups, `defs` the definitions, so the
+//! post-hoc and online computations cannot drift.
 
+use trix_obs::defs;
 use trix_sim::PulseTrace;
 use trix_time::Duration;
 use trix_topology::{LayeredGraph, NodeId};
+
+/// A `defs` lookup over one pulse of a trace (`None` for faulty or
+/// unfired nodes).
+fn time_at(trace: &PulseTrace, k: usize) -> impl FnMut(NodeId) -> Option<trix_time::Time> + '_ {
+    move |n: NodeId| {
+        if trace.is_faulty(n) {
+            None
+        } else {
+            trace.time(k, n)
+        }
+    }
+}
 
 /// Intra-layer local skew `L_ℓ` of layer `layer` for pulse `k`.
 ///
@@ -24,20 +42,7 @@ pub fn intra_layer_skew(
     k: usize,
     layer: usize,
 ) -> Option<Duration> {
-    let mut worst: Option<Duration> = None;
-    for (a, b) in g.base().edges() {
-        let na = g.node(a, layer);
-        let nb = g.node(b, layer);
-        if trace.is_faulty(na) || trace.is_faulty(nb) {
-            continue;
-        }
-        let (Some(ta), Some(tb)) = (trace.time(k, na), trace.time(k, nb)) else {
-            continue;
-        };
-        let skew = (ta - tb).abs();
-        worst = Some(worst.map_or(skew, |w| w.max(skew)));
-    }
-    worst
+    defs::worst_intra_layer(g, layer, time_at(trace, k))
 }
 
 /// Inter-layer local skew `L_{ℓ,ℓ+1}`: worst
@@ -49,30 +54,10 @@ pub fn inter_layer_skew(
     k: usize,
     layer: usize,
 ) -> Option<Duration> {
-    if layer + 1 >= g.layer_count() || k + 1 >= trace.pulses() {
+    if k + 1 >= trace.pulses() {
         return None;
     }
-    let mut worst: Option<Duration> = None;
-    for v in 0..g.width() {
-        let from = g.node(v, layer);
-        if trace.is_faulty(from) {
-            continue;
-        }
-        let Some(t_from) = trace.time(k + 1, from) else {
-            continue;
-        };
-        for (succ, _) in g.successors(from) {
-            if trace.is_faulty(succ) {
-                continue;
-            }
-            let Some(t_to) = trace.time(k, succ) else {
-                continue;
-            };
-            let skew = (t_from - t_to).abs();
-            worst = Some(worst.map_or(skew, |w| w.max(skew)));
-        }
-    }
-    worst
+    defs::worst_inter_layer(g, layer, time_at(trace, k + 1), time_at(trace, k))
 }
 
 /// The maximum intra-layer skew over all layers and the given pulses —
@@ -124,20 +109,7 @@ pub fn global_skew(
     k: usize,
     layer: usize,
 ) -> Option<Duration> {
-    let mut min = None;
-    let mut max = None;
-    for v in 0..g.width() {
-        let node = g.node(v, layer);
-        if trace.is_faulty(node) {
-            continue;
-        }
-        let Some(t) = trace.time(k, node) else {
-            continue;
-        };
-        min = Some(min.map_or(t, |m: trix_time::Time| m.min(t)));
-        max = Some(max.map_or(t, |m: trix_time::Time| m.max(t)));
-    }
-    Some(max? - min?)
+    defs::layer_spread(g, layer, time_at(trace, k))
 }
 
 /// Per-layer intra-layer skew series for one pulse (a "figure" series:

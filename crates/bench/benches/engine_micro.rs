@@ -9,7 +9,11 @@ use std::hint::black_box;
 use trix_core::{
     correction, CorrectionConfig, GradientTrixRule, GridNetwork, GridNodeConfig, Layer0Line, Params,
 };
-use trix_sim::{run_dataflow, CorrectSends, EventQueue, Rng, StaticEnvironment};
+use trix_obs::{DesSkew, StreamingSkew};
+use trix_sim::{
+    run_dataflow, run_dataflow_observed, CorrectSends, EventQueue, NullObserver, Rng,
+    StaticEnvironment,
+};
 use trix_time::{Duration, LocalTime, Time};
 use trix_topology::{BaseGraph, LayeredGraph};
 
@@ -86,6 +90,90 @@ fn bench_des(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         )
+    });
+    group.finish();
+}
+
+/// Observer overhead on both engine hot loops (ISSUE: target < 5% for
+/// the DES loop with `StreamingSkew`-class monitors).
+///
+/// * `des_unobserved` — the engine's plain `run` (the `NullObserver`
+///   path: `run` *is* `run_observed` with a no-op observer, so this pins
+///   that the hook compiles away);
+/// * `des_noop_observer` — `run_observed` with an explicit
+///   [`NullObserver`];
+/// * `des_streaming_skew` — `run_observed` with the online
+///   [`DesSkew`] nearest-fire monitor over every base and grid edge;
+/// * `dataflow_full_trace` / `dataflow_streaming_skew` — the dataflow
+///   executor materializing a `PulseTrace` vs streaming into
+///   [`StreamingSkew`] (no trace).
+///
+/// Measured numbers are recorded in README.md §Streaming observability.
+fn bench_observer_overhead(c: &mut Criterion) {
+    let p = params();
+    let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(6), 6);
+    let build = || {
+        let mut rng = Rng::seed_from(7);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let cfg = GridNodeConfig::standard(p, g.base().diameter());
+        GridNetwork::build(&g, &p, &env, cfg, 10, &mut rng, |_, _| None)
+    };
+    let mut group = c.benchmark_group("observer_overhead");
+    group.bench_function("des_unobserved", |b| {
+        b.iter_batched(
+            build,
+            |mut net| {
+                net.run(Time::from(1e9));
+                black_box(net.des.events_processed())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("des_noop_observer", |b| {
+        b.iter_batched(
+            build,
+            |mut net| {
+                net.run_observed(Time::from(1e9), &mut NullObserver);
+                black_box(net.des.events_processed())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("des_streaming_skew", |b| {
+        b.iter_batched(
+            build,
+            |mut net| {
+                let mut skew = DesSkew::for_grid(&g, 1, p.lambda());
+                net.run_observed(Time::from(1e9), &mut skew);
+                black_box((net.des.events_processed(), skew.intra().count()))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let gd = LayeredGraph::new(BaseGraph::line_with_replicated_ends(32), 32);
+    let mut rng = Rng::seed_from(1);
+    let env = StaticEnvironment::random(&gd, p.d(), p.u(), p.theta(), &mut rng);
+    let layer0 = Layer0Line::random_for_line(&p, gd.width(), &mut rng);
+    let rule = GradientTrixRule::new(p);
+    group.bench_function("dataflow_full_trace", |b| {
+        b.iter(|| black_box(run_dataflow(&gd, &env, &layer0, &rule, &CorrectSends, 2)))
+    });
+    group.bench_function("dataflow_trace_plus_posthoc", |b| {
+        // The apples-to-apples baseline for the streaming monitor: the
+        // trace *and* the batch skew analysis it exists to feed.
+        b.iter(|| {
+            let trace = run_dataflow(&gd, &env, &layer0, &rule, &CorrectSends, 2);
+            black_box(trix_analysis::full_local_skew(&gd, &trace, 0..2))
+        })
+    });
+    group.bench_function("dataflow_streaming_skew", |b| {
+        b.iter(|| {
+            let mut skew = StreamingSkew::new(&gd);
+            run_dataflow_observed(&gd, &env, &layer0, &rule, &CorrectSends, 2, &mut skew);
+            skew.finish();
+            black_box(skew.full_local_skew())
+        })
     });
     group.finish();
 }
@@ -248,6 +336,7 @@ fn bench_des_event_loop(c: &mut Criterion) {
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20);
-    targets = bench_correction, bench_decide, bench_dataflow, bench_des, bench_des_event_loop
+    targets = bench_correction, bench_decide, bench_dataflow, bench_des, bench_des_event_loop,
+        bench_observer_overhead
 );
 criterion_main!(micro);

@@ -5,8 +5,10 @@
 //! Usage:
 //!
 //! ```text
-//! gradient-trix-experiments [--quick | --smoke] [--csv] [--out DIR]
-//!                           [--threads N] [--seed S] [--json PATH]
+//! gradient-trix-experiments [--quick | --smoke] [--no-trace] [--csv]
+//!                           [--out DIR] [--threads N] [--seed S]
+//!                           [--json PATH] [--only EXPERIMENT]
+//!                           [--canonical]
 //! ```
 //!
 //! * `--quick` runs reduced sizes (seconds instead of minutes); `--smoke`
@@ -17,6 +19,15 @@
 //! * `--json PATH` writes the versioned benchmark report (one record per
 //!   scenario: params, seeds, event counts, value stats, fingerprint,
 //!   wall time) to `PATH`.
+//! * `--no-trace` runs the whole suite in streaming mode: no
+//!   `PulseTrace` is materialized anywhere; every scenario reports online
+//!   skew statistics computed by `trix_obs::StreamingSkew` in `O(nodes)`
+//!   memory, recorded into the v2 benchmark JSON (`skew` objects).
+//! * `--only EXPERIMENT` restricts the sweep to one experiment's
+//!   scenarios (e.g. `--only exp_scale` for the CI scale gate).
+//! * `--canonical` zeroes the volatile wall-time fields in every written
+//!   JSON report, making files byte-comparable across runs and thread
+//!   counts.
 //! * `--csv` emits CSV instead of markdown; `--out DIR` additionally
 //!   writes one `.md` and one `.csv` file per table plus one
 //!   `BENCH_<experiment>.json` per experiment into `DIR`.
@@ -25,28 +36,35 @@
 //! (naming the experiment), or `2` on CLI misuse.
 
 use std::process::ExitCode;
-use trix_bench::{run_suite, Scale};
+use trix_bench::{all_scenarios, suite, Scale, TraceMode};
 
 struct Args {
     scale: Scale,
+    mode: TraceMode,
     csv: bool,
     out_dir: Option<String>,
     threads: usize,
     seed: u64,
     json: Option<String>,
+    only: Option<String>,
+    canonical: bool,
 }
 
-const USAGE: &str = "usage: gradient-trix-experiments [--quick | --smoke] [--csv] [--out DIR] \
-                     [--threads N] [--seed S] [--json PATH]";
+const USAGE: &str = "usage: gradient-trix-experiments [--quick | --smoke] [--no-trace] [--csv] \
+                     [--out DIR] [--threads N] [--seed S] [--json PATH] \
+                     [--only EXPERIMENT] [--canonical]";
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut parsed = Args {
         scale: Scale::Full,
+        mode: TraceMode::Full,
         csv: false,
         out_dir: None,
         threads: 0,
         seed: 0,
         json: None,
+        only: None,
+        canonical: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -58,7 +76,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         match arg.as_str() {
             "--quick" => parsed.scale = Scale::Quick,
             "--smoke" => parsed.scale = Scale::Smoke,
+            "--no-trace" => parsed.mode = TraceMode::NoTrace,
             "--csv" => parsed.csv = true,
+            "--canonical" => parsed.canonical = true,
+            "--only" => parsed.only = Some(value_of("--only")?),
             "--out" => parsed.out_dir = Some(value_of("--out")?),
             "--threads" => {
                 let v = value_of("--threads")?;
@@ -100,8 +121,9 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "# Gradient TRIX — experiment suite ({} scale, base seed {:#x})\n",
+        "# Gradient TRIX — experiment suite ({} scale, {} mode, base seed {:#x})\n",
         args.scale.name(),
+        args.mode.name(),
         args.seed
     );
     println!(
@@ -113,7 +135,20 @@ fn main() -> ExitCode {
     }
 
     let start = std::time::Instant::now();
-    let outcome = run_suite(args.scale, args.seed, args.threads);
+    let mut scenarios = all_scenarios(args.scale, args.seed, args.mode);
+    if let Some(only) = &args.only {
+        scenarios.retain(|s| s.experiment() == only);
+        if scenarios.is_empty() {
+            eprintln!("--only {only}: no such experiment");
+            return ExitCode::from(2);
+        }
+    }
+    let outcome = suite::run_scenarios(scenarios, args.scale, args.seed, args.threads);
+    let report = if args.canonical {
+        outcome.report.canonicalized()
+    } else {
+        outcome.report.clone()
+    };
 
     for (i, table) in outcome.tables.iter().enumerate() {
         if args.csv {
@@ -129,25 +164,21 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &args.json {
-        std::fs::write(path, outcome.report.to_json()).expect("write benchmark JSON");
-        eprintln!(
-            "wrote {} scenario records to {path}",
-            outcome.report.records.len()
-        );
+        std::fs::write(path, report.to_json()).expect("write benchmark JSON");
+        eprintln!("wrote {} scenario records to {path}", report.records.len());
     }
     if let Some(dir) = &args.out_dir {
         // One BENCH_<experiment>.json per experiment, for per-experiment
         // trajectory tracking.
-        let mut experiments: Vec<&str> = outcome
-            .report
+        let mut experiments: Vec<&str> = report
             .records
             .iter()
             .map(|r| r.experiment.as_str())
             .collect();
         experiments.dedup();
         for experiment in experiments {
-            let report = outcome.report.filtered(experiment);
-            std::fs::write(format!("{dir}/BENCH_{experiment}.json"), report.to_json())
+            let filtered = report.filtered(experiment);
+            std::fs::write(format!("{dir}/BENCH_{experiment}.json"), filtered.to_json())
                 .expect("write per-experiment benchmark JSON");
         }
     }

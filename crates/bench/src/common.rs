@@ -1,7 +1,14 @@
 //! Shared setup for all experiments.
 
+use crate::suite::{kv, Scenario, ScenarioResult};
+use crate::Scale;
+use trix_analysis::{fmt_f64, theory, Table};
 use trix_core::{GradientTrixRule, Layer0Line, Params};
-use trix_sim::{run_dataflow, PulseTrace, Rng, SendModel, StaticEnvironment};
+use trix_obs::{SkewStats, StreamingSkew};
+use trix_runner::SkewSummary;
+use trix_sim::{
+    run_dataflow, run_dataflow_observed, Observer, PulseTrace, Rng, SendModel, StaticEnvironment,
+};
 use trix_time::Duration;
 use trix_topology::{BaseGraph, LayeredGraph};
 
@@ -46,6 +53,239 @@ pub fn run_gradient_trix(
     let layer0 = Layer0Line::random_for_line(params, g.width(), &mut layer0_rng);
     let trace = run_dataflow(g, &env, &layer0, rule, sends, pulses);
     (trace, env)
+}
+
+/// Runs the same workload as [`run_gradient_trix`] — identical seed
+/// derivation, environment, and layer-0 line — but **streams** every
+/// pulse emission to `obs` instead of materializing a trace: peak memory
+/// is `O(width)` driver state plus whatever the observer retains
+/// (`O(nodes)` for `trix_obs::StreamingSkew`).
+pub fn run_gradient_trix_streaming(
+    g: &LayeredGraph,
+    params: &Params,
+    rule: &GradientTrixRule,
+    sends: &impl SendModel,
+    pulses: usize,
+    seed: u64,
+    obs: &mut impl Observer,
+) {
+    let root = Rng::seed_from(seed);
+    let mut env_rng = root.fork(1);
+    let mut layer0_rng = root.fork(2);
+    let env = StaticEnvironment::random(g, params.d(), params.u(), params.theta(), &mut env_rng);
+    let layer0 = Layer0Line::random_for_line(params, g.width(), &mut layer0_rng);
+    run_dataflow_observed(g, &env, &layer0, rule, sends, pulses, obs);
+}
+
+/// One grid of a streaming (`--no-trace`) twin sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamingGrid {
+    /// Nodes per layer.
+    pub width: usize,
+    /// Layer count.
+    pub layers: usize,
+    /// Pulses to stream.
+    pub pulses: usize,
+}
+
+/// Shorthand constructor for [`StreamingGrid`].
+pub fn streaming_grid(width: usize, layers: usize, pulses: usize) -> StreamingGrid {
+    StreamingGrid {
+        width,
+        layers,
+        pulses,
+    }
+}
+
+/// Folds per-seed streaming snapshots into one benchmark
+/// [`SkewSummary`]: maxima fold with `max`, pulse counts and histograms
+/// add, and the mean is the sample-count-weighted mean of the per-seed
+/// means (the histogram mass *is* the intra sample count, pinned by the
+/// `trix-obs` property tests).
+pub fn merge_snapshots(snaps: &[SkewStats]) -> SkewSummary {
+    let mut out = SkewSummary {
+        max_intra: 0.0,
+        max_inter: 0.0,
+        max_full: 0.0,
+        max_global: 0.0,
+        mean_intra: 0.0,
+        pulses: 0,
+        hist_bin_width: snaps.first().map_or(0.0, |s| s.hist_bin_width),
+        hist_intra: vec![0; snaps.first().map_or(0, |s| s.hist_intra.len())],
+    };
+    let mut weighted_sum = 0.0;
+    let mut samples = 0u64;
+    for s in snaps {
+        // Exhaustive destructuring: adding a field to `SkewStats` must
+        // fail to compile here rather than silently vanish from the
+        // merged benchmark records (SkewSummary mirrors these fields).
+        let SkewStats {
+            max_intra,
+            max_inter,
+            max_full,
+            max_global,
+            mean_intra,
+            pulses,
+            hist_bin_width: _,
+            hist_intra,
+        } = s;
+        out.max_intra = out.max_intra.max(*max_intra);
+        out.max_inter = out.max_inter.max(*max_inter);
+        out.max_full = out.max_full.max(*max_full);
+        out.max_global = out.max_global.max(*max_global);
+        out.pulses += pulses;
+        let count: u64 = hist_intra.iter().sum();
+        weighted_sum += mean_intra * count as f64;
+        samples += count;
+        for (acc, b) in out.hist_intra.iter_mut().zip(hist_intra) {
+            *acc += b;
+        }
+    }
+    if samples > 0 {
+        out.mean_intra = weighted_sum / samples as f64;
+    }
+    out
+}
+
+/// The uniform table headers every streaming twin scenario reports
+/// (identical across scenarios so per-experiment shards merge).
+pub const STREAMING_HEADERS: [&str; 11] = [
+    "width",
+    "layers",
+    "D",
+    "n",
+    "pulses",
+    "L_intra (worst seed)",
+    "L_full",
+    "global",
+    "mean L_intra",
+    "bound 4κ(2+log₂D)",
+    "measured/bound",
+];
+
+/// Runs one streaming twin workload: the fault-free random-environment
+/// Gradient TRIX run on `grid`, one `StreamingSkew` per seed, merged
+/// into a scenario result whose benchmark record carries the streaming
+/// statistics. The Theorem 1.1 bound acts as the condition oracle.
+pub fn streaming_skew_result(
+    experiment: &str,
+    grid_spec: StreamingGrid,
+    seeds: &[u64],
+) -> ScenarioResult {
+    streaming_skew_result_observed(
+        &format!("{experiment} — streaming skew, no trace (O(nodes) memory)"),
+        grid_spec,
+        seeds,
+        &mut trix_sim::NullObserver,
+    )
+}
+
+/// [`streaming_skew_result`] with an explicit table title and an extra
+/// observer composed alongside each seed's `StreamingSkew` (e.g.
+/// `exp_scale`'s post-mortem `TraceRing`).
+pub fn streaming_skew_result_observed(
+    title: &str,
+    grid_spec: StreamingGrid,
+    seeds: &[u64],
+    extra: &mut impl Observer,
+) -> ScenarioResult {
+    let p = standard_params();
+    let rule = GradientTrixRule::new(p);
+    let g = grid(grid_spec.width, grid_spec.layers);
+    let snaps: Vec<SkewStats> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut skew = streaming_monitor(&g, &p);
+            run_gradient_trix_streaming(
+                &g,
+                &p,
+                &rule,
+                &trix_sim::CorrectSends,
+                grid_spec.pulses,
+                seed,
+                &mut (&mut skew, &mut *extra),
+            );
+            skew.finish();
+            skew.snapshot()
+        })
+        .collect();
+    let summary = merge_snapshots(&snaps);
+    let d = g.base().diameter();
+    let bound = theory::thm_1_1_bound(&p, d).as_f64();
+    let mut table = Table::new(title, &STREAMING_HEADERS);
+    table.row_values(&[
+        grid_spec.width.to_string(),
+        grid_spec.layers.to_string(),
+        d.to_string(),
+        g.node_count().to_string(),
+        grid_spec.pulses.to_string(),
+        fmt_f64(summary.max_intra),
+        fmt_f64(summary.max_full),
+        fmt_f64(summary.max_global),
+        fmt_f64(summary.mean_intra),
+        fmt_f64(bound),
+        fmt_f64(summary.max_intra / bound),
+    ]);
+    let violations = if summary.max_intra > bound {
+        vec![format!(
+            "streaming L_intra {} exceeds the Thm 1.1 bound {bound} (fault-free run)",
+            summary.max_intra
+        )]
+    } else {
+        Vec::new()
+    };
+    ScenarioResult {
+        table,
+        violations,
+        skew: Some(summary),
+    }
+}
+
+/// The standard streaming monitor shape used by the `--no-trace` suite:
+/// histogram bins of `κ/2` (so the paper's `O(κ log D)` regime spans the
+/// first handful of bins).
+pub fn streaming_monitor(g: &LayeredGraph, p: &Params) -> StreamingSkew {
+    StreamingSkew::with_histogram(
+        g,
+        p.kappa().as_f64() / 2.0,
+        StreamingSkew::DEFAULT_HIST_BINS,
+    )
+}
+
+/// Builds the streaming twin scenarios of one experiment: one scenario
+/// per grid, seeds derived exactly like the full-trace scenarios
+/// (`(base_seed, experiment, index)`), so `--no-trace` sweeps stay
+/// bit-identical across `--threads` values.
+pub fn streaming_scenarios(
+    experiment: &'static str,
+    scale: Scale,
+    base_seed: u64,
+    grids: Vec<StreamingGrid>,
+) -> Vec<Scenario> {
+    grids
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let seeds =
+                trix_runner::scenario_seeds(base_seed, experiment, i as u64, scale.seed_count());
+            let job_seeds = seeds.clone();
+            Scenario::new(
+                experiment,
+                format!(
+                    "stream w={} l={} p={}",
+                    spec.width, spec.layers, spec.pulses
+                ),
+                vec![
+                    kv("width", spec.width),
+                    kv("layers", spec.layers),
+                    kv("pulses", spec.pulses),
+                    kv("mode", "stream"),
+                ],
+                &seeds,
+                move || streaming_skew_result(experiment, spec, &job_seeds),
+            )
+        })
+        .collect()
 }
 
 /// Runs Gradient TRIX under an explicit environment (adversarial setups).

@@ -78,6 +78,17 @@ pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
     )]
 }
 
+/// Streaming-twin grid envelope for `--no-trace` sweeps: the same grid
+/// dimensions as this experiment's full-trace workload, measured through
+/// the shared streaming skew job ([`crate::common::streaming_skew_result`]).
+pub fn streaming_grids(scale: Scale) -> Vec<crate::common::StreamingGrid> {
+    use crate::common::streaming_grid as sg;
+    {
+        let (w, p) = scale.pick((12, 2), (12, 3), (32, 3));
+        vec![sg(w, w, p)]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -108,6 +108,17 @@ pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
     )]
 }
 
+/// Streaming-twin grid envelope for `--no-trace` sweeps: the same grid
+/// dimensions as this experiment's full-trace workload, measured through
+/// the shared streaming skew job ([`crate::common::streaming_skew_result`]).
+pub fn streaming_grids(scale: Scale) -> Vec<crate::common::StreamingGrid> {
+    use crate::common::streaming_grid as sg;
+    {
+        let (w, l) = scale.pick((12, 8), (12, 8), (24, 16));
+        vec![sg(w, l, 3)]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -67,6 +67,18 @@ pub fn scenarios(scale: Scale, _base_seed: u64) -> Vec<Scenario> {
         .collect()
 }
 
+/// Streaming-twin grid envelope for `--no-trace` sweeps: the same grid
+/// dimensions as this experiment's full-trace workload, measured through
+/// the shared streaming skew job ([`crate::common::streaming_skew_result`]).
+pub fn streaming_grids(scale: Scale) -> Vec<crate::common::StreamingGrid> {
+    use crate::common::streaming_grid as sg;
+    scale
+        .pick(&[8usize, 16][..], &[8, 16, 32][..], &[8, 16, 32][..])
+        .iter()
+        .map(|&w| sg(w, w, 2))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -76,7 +76,11 @@ pub fn run_checked(width: usize, pulses: usize, seeds: &[u64]) -> ScenarioResult
             fmt_f64(stats.max),
         ]);
     }
-    ScenarioResult { table, violations }
+    ScenarioResult {
+        table,
+        violations,
+        skew: None,
+    }
 }
 
 /// Scenario decomposition for the sweep runner: one scenario per derived
@@ -97,6 +101,17 @@ pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
             )
         })
         .collect()
+}
+
+/// Streaming-twin grid envelope for `--no-trace` sweeps: the same grid
+/// dimensions as this experiment's full-trace workload, measured through
+/// the shared streaming skew job ([`crate::common::streaming_skew_result`]).
+pub fn streaming_grids(scale: Scale) -> Vec<crate::common::StreamingGrid> {
+    use crate::common::streaming_grid as sg;
+    {
+        let w = scale.pick(8, 10, 24);
+        vec![sg(w, w, scale.pick(2, 3, 3))]
+    }
 }
 
 #[cfg(test)]

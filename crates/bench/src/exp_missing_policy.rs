@@ -72,7 +72,11 @@ pub fn run_checked(width: usize, f: usize, pulses: usize, seeds: &[u64]) -> Scen
             viol4.to_string(),
         ]);
     }
-    ScenarioResult { table, violations }
+    ScenarioResult {
+        table,
+        violations,
+        skew: None,
+    }
 }
 
 /// Scenario decomposition for the sweep runner: one scenario comparing
@@ -88,6 +92,17 @@ pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
         &seeds,
         move || run_checked(width, f, pulses, &job_seeds),
     )]
+}
+
+/// Streaming-twin grid envelope for `--no-trace` sweeps: the same grid
+/// dimensions as this experiment's full-trace workload, measured through
+/// the shared streaming skew job ([`crate::common::streaming_skew_result`]).
+pub fn streaming_grids(scale: Scale) -> Vec<crate::common::StreamingGrid> {
+    use crate::common::streaming_grid as sg;
+    {
+        let (w, p) = scale.pick((10, 2), (10, 3), (16, 3));
+        vec![sg(w, w, p)]
+    }
 }
 
 #[cfg(test)]

@@ -105,6 +105,17 @@ pub fn scenarios(scale: Scale, _base_seed: u64) -> Vec<Scenario> {
     )]
 }
 
+/// Streaming-twin grid envelope for `--no-trace` sweeps: the same grid
+/// dimensions as this experiment's full-trace workload, measured through
+/// the shared streaming skew job ([`crate::common::streaming_skew_result`]).
+pub fn streaming_grids(scale: Scale) -> Vec<crate::common::StreamingGrid> {
+    use crate::common::streaming_grid as sg;
+    {
+        let (w, l) = scale.pick((8, 12), (10, 16), (16, 48));
+        vec![sg(w, l, 3)]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -81,6 +81,18 @@ pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
         .collect()
 }
 
+/// Streaming-twin grid envelope for `--no-trace` sweeps: the same grid
+/// dimensions as this experiment's full-trace workload, measured through
+/// the shared streaming skew job ([`crate::common::streaming_skew_result`]).
+pub fn streaming_grids(scale: Scale) -> Vec<crate::common::StreamingGrid> {
+    use crate::common::streaming_grid as sg;
+    scale
+        .pick(&[8usize][..], &[8, 16][..], &[8, 16, 32, 64, 128][..])
+        .iter()
+        .map(|&w| sg(w, w, 3))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

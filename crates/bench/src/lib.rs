@@ -30,6 +30,7 @@ pub mod exp_lem_a1;
 pub mod exp_lynch_welch;
 pub mod exp_missing_policy;
 pub mod exp_recovery;
+pub mod exp_scale;
 pub mod exp_table1;
 pub mod exp_thm11;
 pub mod exp_thm12;
@@ -76,14 +77,75 @@ impl Scale {
     }
 }
 
+/// How experiment workloads record their executions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Materialize full `PulseTrace`s and analyze post-hoc — the bespoke
+    /// paper tables (memory `O(nodes × pulses)` per run).
+    #[default]
+    Full,
+    /// `--no-trace`: every experiment runs its grid envelope through the
+    /// streaming skew observer instead (`trix_obs::StreamingSkew`,
+    /// `O(nodes)` memory, no trace anywhere in the dataflow path). Each
+    /// scenario reports the uniform streaming table and records its
+    /// statistics in the v2 benchmark JSON, with the Theorem 1.1 bound as
+    /// the condition oracle.
+    NoTrace,
+}
+
+impl TraceMode {
+    /// The mode's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceMode::Full => "full-trace",
+            TraceMode::NoTrace => "no-trace",
+        }
+    }
+}
+
 /// The full suite's scenario list, in presentation order.
 ///
 /// Each experiment module owns its decomposition (`exp_*::scenarios`);
 /// per-scenario seeds derive from `(base_seed, experiment name, scenario
 /// index)`, so the list — and with it every record of a sweep — is
 /// independent of thread count and stable under suite reordering.
-pub fn all_scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
+pub fn all_scenarios(scale: Scale, base_seed: u64, mode: TraceMode) -> Vec<Scenario> {
     let mut scenarios = Vec::new();
+    if mode == TraceMode::NoTrace {
+        // Streaming twins: every experiment contributes its grid
+        // envelope (`exp_*::streaming_grids`), run through the shared
+        // `O(nodes)` streaming skew job — no `PulseTrace` exists
+        // anywhere in this suite. Suite order matches the full-trace
+        // presentation order.
+        let twins: [(&'static str, Vec<common::StreamingGrid>); 18] = [
+            ("table1", exp_table1::streaming_grids(scale)),
+            ("fig1", exp_fig1::streaming_grids(scale)),
+            ("fig23", exp_fig23::streaming_grids(scale)),
+            ("fig4", exp_fig4::streaming_grids(scale)),
+            ("fig5", exp_fig5::streaming_grids(scale)),
+            ("thm11", exp_thm11::streaming_grids(scale)),
+            ("thm12", exp_thm12::streaming_grids(scale)),
+            ("thm13", exp_thm13::streaming_grids(scale)),
+            ("thm14", exp_thm14::streaming_grids(scale)),
+            ("thm16", exp_thm16::streaming_grids(scale)),
+            ("lem_a1", exp_lem_a1::streaming_grids(scale)),
+            ("cor423", exp_cor423::streaming_grids(scale)),
+            ("missing_policy", exp_missing_policy::streaming_grids(scale)),
+            ("kappa_sweep", exp_kappa_sweep::streaming_grids(scale)),
+            ("ext_f2", exp_ext_f2::streaming_grids(scale)),
+            ("lynch_welch", exp_lynch_welch::streaming_grids(scale)),
+            ("recovery", exp_recovery::streaming_grids(scale)),
+            ("adversary", exp_adversary::streaming_grids(scale)),
+        ];
+        for (experiment, grids) in twins {
+            scenarios.extend(common::streaming_scenarios(
+                experiment, scale, base_seed, grids,
+            ));
+        }
+        // §19 Streaming scale sweep (streaming-only in both modes).
+        scenarios.extend(exp_scale::scenarios(scale, base_seed));
+        return scenarios;
+    }
     // §1 Table 1.
     scenarios.extend(exp_table1::scenarios(scale, base_seed));
     // §2 Figure 1.
@@ -120,6 +182,8 @@ pub fn all_scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
     scenarios.extend(exp_recovery::scenarios(scale, base_seed));
     // §18 Adversarial delay search.
     scenarios.extend(exp_adversary::scenarios(scale, base_seed));
+    // §19 Streaming scale sweep (streaming-only in both modes).
+    scenarios.extend(exp_scale::scenarios(scale, base_seed));
     scenarios
 }
 
@@ -127,15 +191,21 @@ pub fn all_scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
 /// CPU) and returns tables, benchmark records, and oracle violations.
 ///
 /// Bit-for-bit deterministic: everything except per-record wall times is
-/// identical for every `threads` value (`tests/parallel_determinism.rs`).
-pub fn run_suite(scale: Scale, base_seed: u64, threads: usize) -> SuiteOutcome {
-    suite::run_scenarios(all_scenarios(scale, base_seed), scale, base_seed, threads)
+/// identical for every `threads` value (`tests/parallel_determinism.rs`),
+/// in both trace modes.
+pub fn run_suite(scale: Scale, base_seed: u64, threads: usize, mode: TraceMode) -> SuiteOutcome {
+    suite::run_scenarios(
+        all_scenarios(scale, base_seed, mode),
+        scale,
+        base_seed,
+        threads,
+    )
 }
 
 /// Runs every experiment serially and returns the tables in presentation
 /// order (compatibility entry point; seeds derive from base seed 0).
 pub fn run_all(scale: Scale) -> Vec<Table> {
-    run_suite(scale, 0, 1).tables
+    run_suite(scale, 0, 1, TraceMode::Full).tables
 }
 
 #[cfg(test)]
@@ -144,14 +214,14 @@ mod tests {
 
     #[test]
     fn quick_run_produces_all_tables() {
-        let outcome = run_suite(Scale::Quick, 0, 1);
-        assert_eq!(outcome.tables.len(), 20);
+        let outcome = run_suite(Scale::Quick, 0, 1, TraceMode::Full);
+        assert_eq!(outcome.tables.len(), 21);
         for t in &outcome.tables {
             assert!(!t.is_empty(), "empty table: {}", t.to_markdown());
         }
         assert_eq!(
             outcome.report.records.len(),
-            all_scenarios(Scale::Quick, 0).len()
+            all_scenarios(Scale::Quick, 0, TraceMode::Full).len()
         );
         assert!(
             outcome.violations.is_empty(),
@@ -175,10 +245,40 @@ mod tests {
 
     #[test]
     fn smoke_run_is_complete_and_small() {
-        let outcome = run_suite(Scale::Smoke, 0, 0);
-        assert_eq!(outcome.tables.len(), 20);
+        let outcome = run_suite(Scale::Smoke, 0, 0, TraceMode::Full);
+        assert_eq!(outcome.tables.len(), 21);
         for t in &outcome.tables {
             assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn no_trace_suite_covers_every_experiment_with_streaming_stats() {
+        let outcome = run_suite(Scale::Smoke, 0, 0, TraceMode::NoTrace);
+        assert!(
+            outcome.violations.is_empty(),
+            "oracle violations: {:?}",
+            outcome.violations
+        );
+        // Every full-trace experiment family appears, plus exp_scale.
+        let mut experiments: Vec<&str> = outcome
+            .report
+            .records
+            .iter()
+            .map(|r| r.experiment.as_str())
+            .collect();
+        experiments.dedup();
+        assert_eq!(experiments.len(), 19);
+        assert_eq!(experiments.last(), Some(&"exp_scale"));
+        // The whole point of the mode: every record carries streaming
+        // skew statistics, and every simulated scenario counted events.
+        for r in &outcome.report.records {
+            let skew = r
+                .skew
+                .as_ref()
+                .unwrap_or_else(|| panic!("{}/{}: no streaming stats", r.experiment, r.scenario));
+            assert!(skew.pulses > 0, "{}: no pulses folded", r.experiment);
+            assert!(r.events > 0, "{}: no events", r.experiment);
         }
     }
 }

@@ -21,7 +21,7 @@
 use crate::Scale;
 use std::time::Instant;
 use trix_analysis::Table;
-use trix_runner::{BenchRecord, BenchReport, Fnv, SweepRunner, ValueStats};
+use trix_runner::{BenchRecord, BenchReport, Fnv, SkewSummary, SweepRunner, ValueStats};
 
 /// What one scenario job produces.
 #[derive(Debug)]
@@ -30,6 +30,9 @@ pub struct ScenarioResult {
     pub table: Table,
     /// Condition-oracle violations, empty when all checked claims hold.
     pub violations: Vec<String>,
+    /// Streaming skew statistics, when the job ran with an online skew
+    /// observer (recorded into the v2 benchmark JSON).
+    pub skew: Option<SkewSummary>,
 }
 
 impl From<Table> for ScenarioResult {
@@ -37,6 +40,7 @@ impl From<Table> for ScenarioResult {
         Self {
             table,
             violations: Vec::new(),
+            skew: None,
         }
     }
 }
@@ -195,6 +199,7 @@ pub fn run_scenarios(
             events,
             fingerprint: table_fingerprint(&result.table),
             values: table_value_stats(&result.table),
+            skew: result.skew,
             wall_secs,
         };
         let violations: Vec<Violation> = result
@@ -272,6 +277,7 @@ mod tests {
                 t
             },
             violations: vec!["SC violated at layer 3".to_owned()],
+            skew: None,
         });
         let out = run_scenarios(vec![bad], Scale::Smoke, 0, 2);
         assert_eq!(out.violations.len(), 1);

@@ -203,6 +203,14 @@ impl GridNetwork {
         self.des.run(&mut self.nodes, until);
     }
 
+    /// Runs the deployment streaming every broadcast to `obs` (see
+    /// [`trix_sim::Observer`]); engine ids translate to grid positions
+    /// via [`GridIndex::node_id`], and `trix-obs`'s grid monitors accept
+    /// them directly with `offset = 1`.
+    pub fn run_observed(&mut self, until: Time, obs: &mut impl trix_sim::Observer) {
+        self.des.run_observed(&mut self.nodes, until, obs);
+    }
+
     /// Broadcast times grouped by engine node.
     pub fn broadcasts_by_node(&self) -> Vec<Vec<Time>> {
         let mut out = vec![Vec::new(); self.index.engine_count()];

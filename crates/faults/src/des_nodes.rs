@@ -150,6 +150,61 @@ mod tests {
         }
     }
 
+    /// The observer hooks thread through the fault workloads: a
+    /// scrambled network streamed into the online DES skew monitor and a
+    /// bounded trace ring sees every broadcast the engine records, with
+    /// `O(nodes)` + `O(ring)` memory — the post-mortem channel for
+    /// self-stabilization runs too long to trace.
+    #[test]
+    fn scrambled_network_streams_to_observers() {
+        use trix_obs::{DesSkew, TraceRing};
+
+        let p = params();
+        let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(4), 4);
+        let mut rng = Rng::seed_from(5);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let cfg = GridNodeConfig::standard(p, g.base().diameter());
+        let mut net = scrambled_network(&g, &p, &env, cfg, 20, 15, &HashSet::new(), &mut rng);
+        let mut skew = DesSkew::for_grid(&g, 1, p.lambda());
+        let mut ring = TraceRing::new(64);
+        net.run_observed(Time::from(1e9), &mut (&mut skew, &mut ring));
+        // Every broadcast reached the ring (bounded) …
+        assert_eq!(ring.total_recorded(), net.des.broadcasts().len() as u64);
+        assert_eq!(ring.len(), 64);
+        // … and the monitor sampled both pair classes through the
+        // scrambled warm-up (its whole-run max includes that transient,
+        // so magnitude bounds belong to the clean-start test below).
+        assert!(skew.intra().count() > 0);
+        assert!(skew.inter().count() > 0);
+    }
+
+    /// On a clean-start fault-free deployment the online monitor's worst
+    /// observed nearest-fire misalignment stays at the κ scale — a real
+    /// convergence assertion (the monitor's cutoff is Λ/2 ≈ 2000, three
+    /// orders of magnitude above this bound, so the check has teeth).
+    #[test]
+    fn clean_network_monitor_sees_kappa_scale_misalignment() {
+        use trix_obs::DesSkew;
+
+        let p = params();
+        let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(5), 4);
+        let mut rng = Rng::seed_from(3);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let cfg = GridNodeConfig::standard(p, g.base().diameter());
+        let mut net = trix_core::GridNetwork::build(&g, &p, &env, cfg, 24, &mut rng, |_, _| None);
+        let mut skew = DesSkew::for_grid(&g, 1, p.lambda());
+        net.run_observed(Time::from(1e9), &mut skew);
+        assert!(skew.intra().count() > 0 && skew.inter().count() > 0);
+        let bound = Duration::from(10.0 * p.kappa().as_f64());
+        assert!(
+            skew.max_intra() <= bound && skew.max_inter() <= bound,
+            "misalignment intra {} / inter {} above 10κ {}",
+            skew.max_intra(),
+            skew.max_inter(),
+            bound
+        );
+    }
+
     #[test]
     fn scrambled_network_with_permanent_fault_still_stabilizes() {
         let p = params();

@@ -1,0 +1,67 @@
+//! The compatibility observer: reconstructs a full [`PulseTrace`].
+
+use trix_sim::{Observer, PulseTrace};
+use trix_time::Time;
+use trix_topology::{LayeredGraph, NodeId};
+
+/// An observer that materializes the classic `O(nodes × pulses)`
+/// [`PulseTrace`] from the streaming feed — the adapter that keeps every
+/// trace-based experiment working unchanged on top of the observed
+/// drivers.
+///
+/// `trix_sim::run_dataflow` is literally the streaming driver observed by
+/// a trace, so `FullTrace` exists for compositions: e.g. pairing a trace
+/// with a [`crate::StreamingSkew`] via the tuple observer to
+/// cross-validate streaming statistics against the post-hoc analyzer.
+#[derive(Clone, Debug)]
+pub struct FullTrace {
+    trace: PulseTrace,
+}
+
+impl FullTrace {
+    /// Creates an empty trace for `pulses` iterations of `g`.
+    pub fn new(g: &LayeredGraph, pulses: usize) -> Self {
+        Self {
+            trace: PulseTrace::new(g, pulses),
+        }
+    }
+
+    /// The reconstructed trace.
+    pub fn trace(&self) -> &PulseTrace {
+        &self.trace
+    }
+
+    /// Consumes the adapter, yielding the reconstructed trace.
+    pub fn into_trace(self) -> PulseTrace {
+        self.trace
+    }
+}
+
+impl Observer for FullTrace {
+    fn on_faulty(&mut self, node: NodeId) {
+        self.trace.on_faulty(node);
+    }
+
+    fn on_pulse(&mut self, k: usize, node: NodeId, t: Time) {
+        self.trace.on_pulse(k, node, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trix_topology::BaseGraph;
+
+    #[test]
+    fn full_trace_records_like_a_pulse_trace() {
+        let g = LayeredGraph::new(BaseGraph::cycle(4), 2);
+        let mut f = FullTrace::new(&g, 2);
+        let n = g.node(1, 1);
+        f.on_faulty(g.node(0, 0));
+        f.on_pulse(1, n, Time::from(42.0));
+        let trace = f.into_trace();
+        assert!(trace.is_faulty(g.node(0, 0)));
+        assert_eq!(trace.time(1, n), Some(Time::from(42.0)));
+        assert_eq!(trace.time(0, n), None);
+    }
+}

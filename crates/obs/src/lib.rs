@@ -1,0 +1,86 @@
+//! Streaming observability for the Gradient TRIX simulators.
+//!
+//! Every experiment used to materialize a full `PulseTrace` — one
+//! timestamp per node per pulse, `O(nodes × pulses)` memory — and compute
+//! skew statistics post-hoc in `trix-analysis`. That cap on memory is a
+//! cap on scale: the sweep runner could only explore grids whose whole
+//! trajectory fits in RAM. This crate inverts the dataflow (the same
+//! trick incremental-POD methods use on PDE simulation trajectories):
+//! the engines in `trix-sim` push each pulse emission through the
+//! [`Observer`] hook as it happens, and the observers here decide what to
+//! retain:
+//!
+//! * [`StreamingSkew`] — incremental intra-layer, inter-layer, and global
+//!   skew over the dataflow stream. Retains only the current pulse front
+//!   (`O(nodes)`), folds per-pulse maxima into running
+//!   max/sum/count/histogram aggregates, and is **bit-identical** to the
+//!   post-hoc `trix_analysis::skew` results because both delegate to the
+//!   shared definitions in [`defs`].
+//! * [`DesSkew`] — an online nearest-fire misalignment monitor for the
+//!   event-driven engine, `O(nodes)` memory, fed by broadcasts.
+//! * [`TraceRing`] — a bounded ring of the last `N` pulse events in a
+//!   compact 16-byte encoding, for post-mortems of condition-oracle
+//!   violations in runs too large (or too long) to trace.
+//! * [`FullTrace`] — the compatibility adapter reconstructing the classic
+//!   `PulseTrace`, so trace-based experiments ride the same driver.
+//!
+//! Observers compose with the tuple observer from `trix-sim` (e.g.
+//! `(StreamingSkew, TraceRing)`), and everything is deterministic: the
+//! sweep runner's bit-reproducibility across `--threads` extends to all
+//! streamed statistics.
+//!
+//! # Examples
+//!
+//! Streaming skew with no trace:
+//!
+//! ```
+//! use trix_obs::StreamingSkew;
+//! use trix_sim::{run_dataflow_observed, CorrectSends, OffsetLayer0, StaticEnvironment};
+//! use trix_time::Duration;
+//! use trix_topology::{BaseGraph, LayeredGraph};
+//!
+//! // A rule that fires a fixed lag after its own predecessor.
+//! struct FixedLag;
+//! impl trix_sim::PulseRule for FixedLag {
+//!     fn pulse_time(
+//!         &self,
+//!         _n: trix_topology::NodeId,
+//!         _k: usize,
+//!         own: Option<trix_time::Time>,
+//!         _nb: &[Option<trix_time::Time>],
+//!         _c: &trix_time::AffineClock,
+//!     ) -> Option<trix_time::Time> {
+//!         own.map(|t| t + Duration::from(1.0))
+//!     }
+//! }
+//!
+//! let g = LayeredGraph::new(BaseGraph::cycle(4), 3);
+//! let env = StaticEnvironment::nominal(&g, Duration::from(10.0));
+//! let layer0 = OffsetLayer0::new(20.0, vec![0.0, 1.0, 2.0, 3.0]);
+//! let mut skew = StreamingSkew::new(&g);
+//! run_dataflow_observed(&g, &env, &layer0, &FixedLag, &CorrectSends, 2, &mut skew);
+//! skew.finish();
+//! // The staggered layer-0 offsets propagate unchanged: worst adjacent
+//! // gap is the wraparound pair (0, 3).
+//! assert_eq!(skew.max_intra_layer_skew(), Duration::from(3.0));
+//! assert_eq!(skew.pulses(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod defs;
+mod des_monitor;
+mod full;
+mod ring;
+mod streaming;
+
+pub use des_monitor::DesSkew;
+pub use full::FullTrace;
+pub use ring::{TraceEvent, TraceRing};
+pub use streaming::{Histogram, RunningStat, SkewStats, StreamingSkew};
+
+// Re-export the hook surface so observer implementors need only this
+// crate; the trait itself lives in `trix-sim`, next to the engines that
+// drive it.
+pub use trix_sim::{NullObserver, Observer};

@@ -1,0 +1,452 @@
+//! Online skew statistics over a streaming pulse feed.
+//!
+//! [`StreamingSkew`] consumes the dataflow executor's
+//! [`Observer::on_pulse`] stream and maintains the paper's skew metrics
+//! incrementally: it retains only the **current pulse front** (the
+//! previous and in-progress pulse, two `O(nodes)` rows) and folds each
+//! completed pulse's maxima into running `max`/`sum`/`count` aggregates
+//! plus a fixed-bin histogram. Peak memory is `O(nodes)` — independent of
+//! the pulse count — versus the `O(nodes × pulses)` of a full
+//! [`trix_sim::PulseTrace`], which is what lets `exp_scale` sweep grids an
+//! order of magnitude wider than the trace-backed experiments.
+//!
+//! The per-pulse maxima are computed by the shared definitions in
+//! [`crate::defs`], the same functions the post-hoc analyzer uses, so the
+//! streamed `max` statistics are **bit-identical** to
+//! `trix_analysis::skew` results over the reconstructed trace (pinned by
+//! the workspace equivalence tests and the property tests in this
+//! crate).
+
+use crate::defs;
+use trix_sim::Observer;
+use trix_time::{Duration, Time};
+use trix_topology::{LayeredGraph, NodeId};
+
+/// A fixed-bin histogram over non-negative samples.
+///
+/// Bin `i` counts samples in `[i·w, (i+1)·w)`; the last bin additionally
+/// absorbs everything beyond the covered range (overflow bin), so the
+/// total count always equals the number of recorded samples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    bin_width: f64,
+    bins: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bin_count` bins of width `bin_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bin_width > 0` and `bin_count > 0`.
+    pub fn new(bin_width: f64, bin_count: usize) -> Self {
+        assert!(bin_width > 0.0, "bin width must be positive");
+        assert!(bin_count > 0, "need at least one bin");
+        Self {
+            bin_width,
+            bins: vec![0; bin_count],
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        let i = ((v / self.bin_width) as usize).min(self.bins.len() - 1);
+        self.bins[i] += 1;
+    }
+
+    /// The per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The bin width.
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+}
+
+/// Running aggregate of a non-negative sample stream: max, sum, count,
+/// and a [`Histogram`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunningStat {
+    max: f64,
+    sum: f64,
+    count: u64,
+    hist: Histogram,
+}
+
+impl RunningStat {
+    pub(crate) fn new(hist: Histogram) -> Self {
+        Self {
+            max: 0.0,
+            sum: 0.0,
+            count: 0,
+            hist,
+        }
+    }
+
+    pub(crate) fn record(&mut self, v: f64) {
+        self.max = self.max.max(v);
+        self.sum += v;
+        self.count += 1;
+        self.hist.record(v);
+    }
+
+    /// Largest recorded sample (`0` when empty — matching the
+    /// `Duration::ZERO` fold the batch analyzer starts from).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sample histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+}
+
+/// A plain-data snapshot of a completed [`StreamingSkew`] run — what the
+/// benchmark records persist (`skew` object of the v2 `BENCH_*.json`
+/// schema).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkewStats {
+    /// Worst intra-layer local skew `sup L_ℓ` over all pulses.
+    pub max_intra: f64,
+    /// Worst inter-layer local skew `sup L_{ℓ,ℓ+1}` over all pulse pairs.
+    pub max_inter: f64,
+    /// The full local skew `L = max(max_intra, max_inter)`.
+    pub max_full: f64,
+    /// Worst same-layer global skew over all pulses.
+    pub max_global: f64,
+    /// Mean of the per-pulse intra-layer maxima.
+    pub mean_intra: f64,
+    /// Number of finalized pulses.
+    pub pulses: u64,
+    /// Bin width of the intra-layer histogram.
+    pub hist_bin_width: f64,
+    /// Histogram of the per-pulse intra-layer maxima.
+    pub hist_intra: Vec<u64>,
+}
+
+/// Incremental intra-layer, inter-layer, and global skew tracking over
+/// the dataflow pulse stream.
+///
+/// Feed it to [`trix_sim::run_dataflow_observed`], then call
+/// [`StreamingSkew::finish`] once the run returns; the accessors mirror
+/// `trix_analysis::skew`'s batch results bit for bit:
+///
+/// * [`max_intra_layer_skew`](Self::max_intra_layer_skew) ==
+///   `max_intra_layer_skew(g, trace, 0..pulses)`;
+/// * [`full_local_skew`](Self::full_local_skew) ==
+///   `full_local_skew(g, trace, 0..pulses)`;
+/// * [`max_global_skew`](Self::max_global_skew) == the fold of
+///   `global_skew(g, trace, k, ℓ)` over all pulses and layers.
+///
+/// Pulse emissions must arrive pulse-major (non-decreasing `k`), which is
+/// the dataflow driver's deterministic order; the monitor finalizes pulse
+/// `k` when the first `k+1` emission arrives.
+#[derive(Clone, Debug)]
+pub struct StreamingSkew {
+    g: LayeredGraph,
+    faulty: Vec<bool>,
+    /// Pulse `cur_k − 1` front (all nodes).
+    prev: Vec<Option<Time>>,
+    /// Pulse `cur_k` front, filling in.
+    cur: Vec<Option<Time>>,
+    cur_k: usize,
+    started: bool,
+    finished: bool,
+    pulses: u64,
+    intra: RunningStat,
+    inter: RunningStat,
+    global: RunningStat,
+}
+
+impl StreamingSkew {
+    /// Default intra-histogram shape: 16 bins of one abstract time unit
+    /// (picoseconds under the standard experiment parameters).
+    pub const DEFAULT_HIST_BINS: usize = 16;
+
+    /// Creates a monitor for executions of `g` with the default
+    /// histogram.
+    pub fn new(g: &LayeredGraph) -> Self {
+        Self::with_histogram(g, 1.0, Self::DEFAULT_HIST_BINS)
+    }
+
+    /// Creates a monitor with an explicit histogram shape (applied to all
+    /// three statistics).
+    pub fn with_histogram(g: &LayeredGraph, bin_width: f64, bin_count: usize) -> Self {
+        let n = g.node_count();
+        let hist = Histogram::new(bin_width, bin_count);
+        Self {
+            g: g.clone(),
+            faulty: vec![false; n],
+            prev: vec![None; n],
+            cur: vec![None; n],
+            cur_k: 0,
+            started: false,
+            finished: false,
+            pulses: 0,
+            intra: RunningStat::new(hist.clone()),
+            inter: RunningStat::new(hist.clone()),
+            global: RunningStat::new(hist),
+        }
+    }
+
+    #[inline]
+    fn index(&self, n: NodeId) -> usize {
+        n.layer as usize * self.g.width() + n.v as usize
+    }
+
+    fn lookup<'a>(
+        row: &'a [Option<Time>],
+        faulty: &'a [bool],
+        g: &'a LayeredGraph,
+    ) -> impl FnMut(NodeId) -> Option<Time> + 'a {
+        move |n: NodeId| {
+            let i = n.layer as usize * g.width() + n.v as usize;
+            if faulty[i] {
+                None
+            } else {
+                row[i]
+            }
+        }
+    }
+
+    /// Finalizes the in-progress pulse: folds its per-pulse maxima into
+    /// the running statistics and rotates the fronts.
+    fn advance(&mut self) {
+        let g = &self.g;
+        // Intra-layer: per-pulse maximum of L_ℓ over all layers.
+        let mut intra: Option<Duration> = None;
+        let mut global: Option<Duration> = None;
+        for layer in 0..g.layer_count() {
+            if let Some(s) =
+                defs::worst_intra_layer(g, layer, Self::lookup(&self.cur, &self.faulty, g))
+            {
+                intra = Some(intra.map_or(s, |w| w.max(s)));
+            }
+            if let Some(s) = defs::layer_spread(g, layer, Self::lookup(&self.cur, &self.faulty, g))
+            {
+                global = Some(global.map_or(s, |w| w.max(s)));
+            }
+        }
+        if let Some(s) = intra {
+            self.intra.record(s.as_f64());
+        }
+        if let Some(s) = global {
+            self.global.record(s.as_f64());
+        }
+        // Inter-layer: pulse pair (cur_k − 1, cur_k) becomes complete now
+        // — `cur` holds the upper (k+1) times, `prev` the lower (k) ones.
+        if self.cur_k > 0 {
+            let mut inter: Option<Duration> = None;
+            for layer in 0..g.layer_count() {
+                if let Some(s) = defs::worst_inter_layer(
+                    g,
+                    layer,
+                    Self::lookup(&self.cur, &self.faulty, g),
+                    Self::lookup(&self.prev, &self.faulty, g),
+                ) {
+                    inter = Some(inter.map_or(s, |w| w.max(s)));
+                }
+            }
+            if let Some(s) = inter {
+                self.inter.record(s.as_f64());
+            }
+        }
+        self.pulses += 1;
+        std::mem::swap(&mut self.prev, &mut self.cur);
+        self.cur.fill(None);
+        self.cur_k += 1;
+    }
+
+    /// Finalizes the last pulse. Must be called after the run and before
+    /// reading [`StreamingSkew::snapshot`]; idempotent.
+    pub fn finish(&mut self) {
+        if !self.finished {
+            if self.started {
+                self.advance();
+            }
+            self.finished = true;
+        }
+    }
+
+    /// Number of finalized pulses.
+    pub fn pulses(&self) -> u64 {
+        self.pulses
+    }
+
+    /// Worst intra-layer skew so far (== the batch
+    /// `max_intra_layer_skew` after [`StreamingSkew::finish`]).
+    pub fn max_intra_layer_skew(&self) -> Duration {
+        Duration::from(self.intra.max())
+    }
+
+    /// Worst inter-layer skew so far.
+    pub fn max_inter_layer_skew(&self) -> Duration {
+        Duration::from(self.inter.max())
+    }
+
+    /// The full local skew `L` so far (== the batch `full_local_skew`
+    /// after [`StreamingSkew::finish`]).
+    pub fn full_local_skew(&self) -> Duration {
+        self.max_intra_layer_skew().max(self.max_inter_layer_skew())
+    }
+
+    /// Worst same-layer global skew so far.
+    pub fn max_global_skew(&self) -> Duration {
+        Duration::from(self.global.max())
+    }
+
+    /// Running aggregate of the per-pulse intra-layer maxima.
+    pub fn intra(&self) -> &RunningStat {
+        &self.intra
+    }
+
+    /// Running aggregate of the per-pulse-pair inter-layer maxima.
+    pub fn inter(&self) -> &RunningStat {
+        &self.inter
+    }
+
+    /// Running aggregate of the per-pulse global-skew maxima.
+    pub fn global(&self) -> &RunningStat {
+        &self.global
+    }
+
+    /// Plain-data snapshot of the completed run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`StreamingSkew::finish`] has not been called (the last
+    /// pulse would be silently dropped otherwise).
+    pub fn snapshot(&self) -> SkewStats {
+        assert!(
+            self.finished,
+            "call StreamingSkew::finish() before snapshot()"
+        );
+        SkewStats {
+            max_intra: self.intra.max(),
+            max_inter: self.inter.max(),
+            max_full: self.full_local_skew().as_f64(),
+            max_global: self.global.max(),
+            mean_intra: self.intra.mean(),
+            pulses: self.pulses,
+            hist_bin_width: self.intra.histogram().bin_width(),
+            hist_intra: self.intra.histogram().bins().to_vec(),
+        }
+    }
+}
+
+impl Observer for StreamingSkew {
+    fn on_faulty(&mut self, node: NodeId) {
+        let i = self.index(node);
+        self.faulty[i] = true;
+    }
+
+    fn on_pulse(&mut self, k: usize, node: NodeId, t: Time) {
+        debug_assert!(!self.finished, "pulse after finish()");
+        debug_assert!(k >= self.cur_k, "pulse emissions must be pulse-major");
+        while k > self.cur_k {
+            self.advance();
+        }
+        let i = self.index(node);
+        self.cur[i] = Some(t);
+        self.started = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trix_topology::BaseGraph;
+
+    /// Feeds a synthetic trace `t(k, v, ℓ) = k·100 + ℓ·10 + v` and checks
+    /// the folds against hand-computed values.
+    #[test]
+    fn streaming_matches_hand_computed_folds() {
+        let g = LayeredGraph::new(BaseGraph::cycle(4), 3);
+        let mut s = StreamingSkew::new(&g);
+        for k in 0..2usize {
+            for n in g.nodes() {
+                let t = k as f64 * 100.0 + n.layer as f64 * 10.0 + n.v as f64;
+                s.on_pulse(k, n, Time::from(t));
+            }
+        }
+        s.finish();
+        // Intra: worst cycle edge (0, 3) → 3, every pulse and layer.
+        assert_eq!(s.max_intra_layer_skew(), Duration::from(3.0));
+        // Global: same spread (3) — max over v within a layer.
+        assert_eq!(s.max_global_skew(), Duration::from(3.0));
+        // Inter: |t^{k+1}_{v,ℓ} − t^k_{w,ℓ+1}| = |100 − 10 + v − w| = 93
+        // at the wraparound (v=3, w=0).
+        assert_eq!(s.max_inter_layer_skew(), Duration::from(93.0));
+        assert_eq!(s.full_local_skew(), Duration::from(93.0));
+        // Two pulses finalized; intra recorded per pulse, inter per pair.
+        assert_eq!(s.pulses(), 2);
+        assert_eq!(s.intra().count(), 2);
+        assert_eq!(s.inter().count(), 1);
+        assert_eq!(s.intra().mean(), 3.0);
+    }
+
+    #[test]
+    fn faulty_nodes_are_excluded() {
+        let g = LayeredGraph::new(BaseGraph::cycle(4), 2);
+        let mut s = StreamingSkew::new(&g);
+        s.on_faulty(g.node(3, 1));
+        for n in g.nodes() {
+            // Node (3, 1) is an extreme outlier; the monitor must ignore
+            // it entirely.
+            let t = if n.v == 3 && n.layer == 1 {
+                1e9
+            } else {
+                n.v as f64
+            };
+            s.on_pulse(0, n, Time::from(t));
+        }
+        s.finish();
+        // Remaining worst: layer 0 wraparound edge (0, 3) → 3; layer 1
+        // without node 3: edges (0,1), (1,2) → 1.
+        assert_eq!(s.max_intra_layer_skew(), Duration::from(3.0));
+        assert_eq!(s.max_global_skew(), Duration::from(3.0));
+    }
+
+    #[test]
+    fn histogram_clamps_overflow_into_last_bin() {
+        let mut h = Histogram::new(0.5, 4);
+        for v in [0.0, 0.4, 0.6, 1.9, 77.0] {
+            h.record(v);
+        }
+        assert_eq!(h.bins(), &[2, 1, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish()")]
+    fn snapshot_requires_finish() {
+        let g = LayeredGraph::new(BaseGraph::cycle(3), 2);
+        let _ = StreamingSkew::new(&g).snapshot();
+    }
+
+    #[test]
+    fn empty_run_snapshots_zeroes() {
+        let g = LayeredGraph::new(BaseGraph::cycle(3), 2);
+        let mut s = StreamingSkew::new(&g);
+        s.finish();
+        let snap = s.snapshot();
+        assert_eq!(snap.pulses, 0);
+        assert_eq!(snap.max_full, 0.0);
+        assert_eq!(snap.mean_intra, 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Property tests: the streaming skew monitor is bit-identical to a
+//! batch fold over the full trace, for random layered topologies,
+//! environments, faults, and derived seeds.
+//!
+//! The batch side is recomputed here directly from the shared
+//! definitions in `trix_obs::defs` over a [`FullTrace`] recorded in the
+//! *same run* (tuple observer), so the property isolates exactly the
+//! incremental front bookkeeping of [`StreamingSkew`]. The workspace-level
+//! `tests/streaming_equivalence.rs` additionally pins equality against
+//! `trix_analysis::skew` across the experiment suite.
+
+use proptest::prelude::*;
+use trix_obs::{defs, FullTrace, StreamingSkew};
+use trix_sim::{
+    run_dataflow_observed, CorrectSends, OffsetLayer0, PulseRule, PulseTrace, Rng, SendModel,
+    StaticEnvironment,
+};
+use trix_time::{AffineClock, Duration, Time};
+use trix_topology::{BaseGraph, LayeredGraph, NodeId};
+
+/// Fires at `max(arrivals) + 1`, scaled a little by the clock rate so
+/// environments influence the times.
+struct MaxPlus;
+
+impl PulseRule for MaxPlus {
+    fn pulse_time(
+        &self,
+        _node: NodeId,
+        _k: usize,
+        own: Option<Time>,
+        neighbors: &[Option<Time>],
+        clock: &AffineClock,
+    ) -> Option<Time> {
+        let mut best: Option<Time> = own;
+        for &n in neighbors {
+            best = match (best, n) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        best.map(|t| t + Duration::from(clock.rate()))
+    }
+}
+
+/// Silences (and flags faulty) one node.
+struct Silence(NodeId);
+
+impl SendModel for Silence {
+    fn send_time(
+        &self,
+        node: NodeId,
+        _k: usize,
+        nominal: Option<Time>,
+        _target: NodeId,
+    ) -> Option<Time> {
+        if node == self.0 {
+            None
+        } else {
+            nominal
+        }
+    }
+
+    fn is_faulty(&self, node: NodeId) -> bool {
+        node == self.0
+    }
+}
+
+/// Batch recomputation of everything `StreamingSkew` folds, from a full
+/// trace, in the same pulse order.
+struct Batch {
+    max_intra: Duration,
+    max_inter: Duration,
+    max_global: Duration,
+    sum_intra: f64,
+    count_intra: u64,
+}
+
+fn batch_fold(g: &LayeredGraph, trace: &PulseTrace, pulses: usize) -> Batch {
+    let look = |k: usize| {
+        move |n: NodeId| {
+            if trace.is_faulty(n) {
+                None
+            } else {
+                trace.time(k, n)
+            }
+        }
+    };
+    let mut out = Batch {
+        max_intra: Duration::ZERO,
+        max_inter: Duration::ZERO,
+        max_global: Duration::ZERO,
+        sum_intra: 0.0,
+        count_intra: 0,
+    };
+    for k in 0..pulses {
+        let mut intra: Option<Duration> = None;
+        let mut global: Option<Duration> = None;
+        for layer in 0..g.layer_count() {
+            if let Some(s) = defs::worst_intra_layer(g, layer, look(k)) {
+                intra = Some(intra.map_or(s, |w| w.max(s)));
+            }
+            if let Some(s) = defs::layer_spread(g, layer, look(k)) {
+                global = Some(global.map_or(s, |w| w.max(s)));
+            }
+        }
+        if let Some(s) = intra {
+            out.max_intra = out.max_intra.max(s);
+            out.sum_intra += s.as_f64();
+            out.count_intra += 1;
+        }
+        if let Some(s) = global {
+            out.max_global = out.max_global.max(s);
+        }
+        if k + 1 < pulses {
+            for layer in 0..g.layer_count() {
+                if let Some(s) = defs::worst_inter_layer(g, layer, look(k + 1), look(k)) {
+                    out.max_inter = out.max_inter.max(s);
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn streaming_equals_batch_over_random_topologies(
+        seed in any::<u64>(),
+        width in 3usize..10,
+        layers in 2usize..6,
+        pulses in 1usize..5,
+        cycle in any::<bool>(),
+        fault in any::<bool>(),
+    ) {
+        let base = if cycle {
+            BaseGraph::cycle(width)
+        } else {
+            BaseGraph::line_with_replicated_ends(width)
+        };
+        let g = LayeredGraph::new(base, layers);
+        let mut rng = Rng::seed_from(seed);
+        let env = StaticEnvironment::random(
+            &g,
+            Duration::from(10.0),
+            Duration::from(2.0),
+            1.05,
+            &mut rng,
+        );
+        let offsets = (0..g.width()).map(|_| rng.f64_in(0.0, 3.0)).collect();
+        let layer0 = OffsetLayer0::new(25.0, offsets);
+        let bad = g.node(rng.usize_below(g.width()), 1 + rng.usize_below(g.layer_count() - 1));
+
+        // One run, two observers: the full trace and the streaming monitor.
+        let mut pair = (FullTrace::new(&g, pulses), StreamingSkew::new(&g));
+        if fault {
+            run_dataflow_observed(&g, &env, &layer0, &MaxPlus, &Silence(bad), pulses, &mut pair);
+        } else {
+            run_dataflow_observed(&g, &env, &layer0, &MaxPlus, &CorrectSends, pulses, &mut pair);
+        }
+        let (full, mut stream) = pair;
+        stream.finish();
+
+        let batch = batch_fold(&g, full.trace(), pulses);
+        // Bit-identical folds — no tolerance.
+        prop_assert_eq!(stream.max_intra_layer_skew(), batch.max_intra);
+        prop_assert_eq!(stream.max_inter_layer_skew(), batch.max_inter);
+        prop_assert_eq!(stream.max_global_skew(), batch.max_global);
+        prop_assert_eq!(
+            stream.full_local_skew(),
+            batch.max_intra.max(batch.max_inter)
+        );
+        prop_assert_eq!(stream.intra().count(), batch.count_intra);
+        let batch_mean = if batch.count_intra == 0 {
+            0.0
+        } else {
+            batch.sum_intra / batch.count_intra as f64
+        };
+        prop_assert_eq!(stream.intra().mean(), batch_mean);
+    }
+
+    /// The histogram's total mass equals the number of recorded pulses.
+    #[test]
+    fn histogram_mass_equals_pulse_count(seed in any::<u64>(), pulses in 1usize..6) {
+        let g = LayeredGraph::new(BaseGraph::cycle(5), 3);
+        let mut rng = Rng::seed_from(seed);
+        let env = StaticEnvironment::random(
+            &g,
+            Duration::from(10.0),
+            Duration::from(1.0),
+            1.01,
+            &mut rng,
+        );
+        let layer0 = OffsetLayer0::synchronized(25.0, g.width());
+        let mut s = StreamingSkew::with_histogram(&g, 0.25, 8);
+        run_dataflow_observed(&g, &env, &layer0, &MaxPlus, &CorrectSends, pulses, &mut s);
+        s.finish();
+        let mass: u64 = s.intra().histogram().bins().iter().sum();
+        prop_assert_eq!(mass, s.intra().count());
+        prop_assert_eq!(s.pulses(), pulses as u64);
+    }
+}

@@ -12,7 +12,62 @@ use std::fmt::Write as _;
 ///
 /// Bump when a field is added, removed, or changes meaning, so trajectory
 /// tooling can dispatch on it.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+///
+/// History:
+///
+/// * **1** — initial schema.
+/// * **2** — added the per-record `skew` object ([`SkewSummary`]):
+///   streaming skew statistics for scenarios that ran with an online
+///   skew observer (`null` otherwise).
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// Streaming skew statistics of one scenario, produced by an online
+/// observer (`trix_obs::StreamingSkew`) during the run — the `skew`
+/// object of schema v2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkewSummary {
+    /// Worst intra-layer local skew over all pulses.
+    pub max_intra: f64,
+    /// Worst inter-layer local skew over all consecutive pulse pairs.
+    pub max_inter: f64,
+    /// The full local skew `L = max(max_intra, max_inter)`.
+    pub max_full: f64,
+    /// Worst same-layer global skew over all pulses.
+    pub max_global: f64,
+    /// Mean of the per-pulse intra-layer maxima.
+    pub mean_intra: f64,
+    /// Number of pulses the statistics fold over.
+    pub pulses: u64,
+    /// Bin width of `hist_intra` (abstract time units).
+    pub hist_bin_width: f64,
+    /// Fixed-bin histogram of the per-pulse intra-layer maxima (last bin
+    /// absorbs overflow).
+    pub hist_intra: Vec<u64>,
+}
+
+impl SkewSummary {
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"max_intra\": {}, \"max_inter\": {}, \"max_full\": {}, \"max_global\": {}, \
+             \"mean_intra\": {}, \"pulses\": {}, \"hist_bin_width\": {}, \"hist_intra\": [",
+            fmt_json_f64(self.max_intra),
+            fmt_json_f64(self.max_inter),
+            fmt_json_f64(self.max_full),
+            fmt_json_f64(self.max_global),
+            fmt_json_f64(self.mean_intra),
+            self.pulses,
+            fmt_json_f64(self.hist_bin_width),
+        );
+        for (i, b) in self.hist_intra.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("]}");
+    }
+}
 
 /// Summary statistics over the numeric cells of one scenario's table rows
 /// (for skew experiments these are the skew columns).
@@ -74,6 +129,9 @@ pub struct BenchRecord {
     pub fingerprint: u64,
     /// Stats over the numeric table cells, if any.
     pub values: Option<ValueStats>,
+    /// Streaming skew statistics, when the scenario ran with an online
+    /// skew observer (schema v2).
+    pub skew: Option<SkewSummary>,
     /// Wall-clock seconds the scenario took (volatile; excluded from
     /// determinism comparisons).
     pub wall_secs: f64,
@@ -183,6 +241,13 @@ impl BenchRecord {
             }
             None => out.push_str(", \"values\": null"),
         }
+        match &self.skew {
+            Some(s) => {
+                out.push_str(", \"skew\": ");
+                s.write_json(out);
+            }
+            None => out.push_str(", \"skew\": null"),
+        }
         let _ = write!(out, ", \"wall_secs\": {}", fmt_json_f64(self.wall_secs));
         out.push('}');
     }
@@ -239,6 +304,7 @@ mod tests {
                 events: 192,
                 fingerprint: 0xDEAD_BEEF,
                 values: ValueStats::of([1.0, 3.0]),
+                skew: None,
                 wall_secs: 0.25,
             }],
         }
@@ -247,14 +313,36 @@ mod tests {
     #[test]
     fn json_contains_versioned_schema_and_fields() {
         let j = sample().to_json();
-        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"schema_version\": 2"));
         assert!(j.contains("\"experiment\": \"thm11\""));
         assert!(j.contains("\"params\": {\"width\": \"8\"}"));
         assert!(j.contains("\"seeds\": [1, 2]"));
         assert!(j.contains("\"events\": 192"));
         assert!(j.contains("\"fingerprint\": \"0x00000000deadbeef\""));
         assert!(j.contains("\"values\": {\"min\": 1, \"max\": 3, \"mean\": 2, \"count\": 2}"));
+        assert!(j.contains("\"skew\": null"));
         assert!(j.contains("\"wall_secs\": 0.25"));
+    }
+
+    #[test]
+    fn skew_summary_serializes_in_full() {
+        let mut r = sample();
+        r.records[0].skew = Some(SkewSummary {
+            max_intra: 2.5,
+            max_inter: 3.0,
+            max_full: 3.0,
+            max_global: 7.25,
+            mean_intra: 1.5,
+            pulses: 4,
+            hist_bin_width: 0.5,
+            hist_intra: vec![1, 0, 3],
+        });
+        let j = r.to_json();
+        assert!(j.contains(
+            "\"skew\": {\"max_intra\": 2.5, \"max_inter\": 3, \"max_full\": 3, \
+             \"max_global\": 7.25, \"mean_intra\": 1.5, \"pulses\": 4, \
+             \"hist_bin_width\": 0.5, \"hist_intra\": [1, 0, 3]}"
+        ));
     }
 
     #[test]

@@ -39,7 +39,9 @@
 
 mod json;
 
-pub use json::{json_escape, BenchRecord, BenchReport, ValueStats, BENCH_SCHEMA_VERSION};
+pub use json::{
+    json_escape, BenchRecord, BenchReport, SkewSummary, ValueStats, BENCH_SCHEMA_VERSION,
+};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

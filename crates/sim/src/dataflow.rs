@@ -17,7 +17,7 @@
 //! per iteration per edge; richer behaviors (babbling, spurious state) are
 //! exercised through the event-driven engine.
 
-use crate::Environment;
+use crate::{Environment, Observer};
 use trix_time::{AffineClock, Time};
 use trix_topology::{LayeredGraph, NodeId};
 
@@ -208,6 +208,19 @@ impl PulseTrace {
     }
 }
 
+/// A [`PulseTrace`] is itself an [`Observer`]: it records every emission.
+/// [`run_dataflow`] is exactly the streaming driver observed by a trace,
+/// so the trace-backed and trace-free paths cannot drift.
+impl Observer for PulseTrace {
+    fn on_faulty(&mut self, node: NodeId) {
+        self.set_faulty(node);
+    }
+
+    fn on_pulse(&mut self, k: usize, node: NodeId, t: Time) {
+        self.set_time(k, node, Some(t));
+    }
+}
+
 /// Runs a pulse-forwarding rule on the layered graph for `pulses`
 /// iterations and returns the recorded trace.
 ///
@@ -250,40 +263,71 @@ pub fn run_dataflow(
     pulses: usize,
 ) -> PulseTrace {
     let mut trace = PulseTrace::new(g, pulses);
+    run_dataflow_observed(g, env, layer0, rule, sends, pulses, &mut trace);
+    trace
+}
+
+/// Runs a pulse-forwarding rule and streams every emission to `obs`
+/// **without materializing a trace**.
+///
+/// This is the execution engine behind [`run_dataflow`] (which observes
+/// with a [`PulseTrace`]); called with a streaming observer it needs only
+/// two rows of `O(width)` working state — iteration `k` of layer `ℓ`
+/// depends only on iteration `k` of layer `ℓ − 1` (paper Lemma B.1) — so
+/// peak memory is independent of both the pulse count and the layer
+/// count. Emissions arrive in deterministic `(k, layer, v)` order;
+/// faulty positions are announced first.
+pub fn run_dataflow_observed(
+    g: &LayeredGraph,
+    env: &impl Environment,
+    layer0: &impl Layer0Source,
+    rule: &impl PulseRule,
+    sends: &impl SendModel,
+    pulses: usize,
+    obs: &mut impl Observer,
+) {
     for n in g.nodes() {
         if sends.is_faulty(n) {
-            trace.set_faulty(n);
+            obs.on_faulty(n);
         }
     }
+    // Nominal pulse times of the layer currently feeding (`prev`, layer
+    // ℓ−1) and the layer being computed (`cur`, layer ℓ), iteration `k`.
+    let mut prev: Vec<Option<Time>> = vec![None; g.width()];
+    let mut cur: Vec<Option<Time>> = vec![None; g.width()];
     let mut neighbor_arrivals: Vec<Option<Time>> = Vec::new();
     for k in 0..pulses {
-        for v in 0..g.width() {
-            let node = g.node(v, 0);
-            trace.set_time(k, node, Some(layer0.pulse_time(k, v)));
+        for (v, slot) in prev.iter_mut().enumerate() {
+            let t = layer0.pulse_time(k, v);
+            *slot = Some(t);
+            obs.on_pulse(k, g.node(v, 0), t);
         }
         for layer in 1..g.layer_count() {
             for w in 0..g.width() {
                 let target = g.node(w, layer);
                 let own_sender = g.node(w, layer - 1);
                 let own = sends
-                    .send_time(own_sender, k, trace.time(k, own_sender), target)
+                    .send_time(own_sender, k, prev[w], target)
                     .map(|t| t + env.delay(k, g.own_in_edge(target)));
                 neighbor_arrivals.clear();
                 for (slot, &x) in g.base().neighbors(w).iter().enumerate() {
                     let sender = g.node(x, layer - 1);
                     let arrival = sends
-                        .send_time(sender, k, trace.time(k, sender), target)
+                        .send_time(sender, k, prev[x], target)
                         .map(|t| t + env.delay(k, g.neighbor_in_edge(target, slot)));
                     neighbor_arrivals.push(arrival);
                 }
                 let clock = env.clock(k, target);
                 let t = rule.pulse_time(target, k, own, &neighbor_arrivals, &clock);
                 crate::metrics::bump(1);
-                trace.set_time(k, target, t);
+                cur[w] = t;
+                if let Some(t) = t {
+                    obs.on_pulse(k, target, t);
+                }
             }
+            std::mem::swap(&mut prev, &mut cur);
         }
     }
-    trace
 }
 
 #[cfg(test)]
@@ -376,6 +420,58 @@ mod tests {
         }
         // layer_times skips the faulty node.
         assert_eq!(trace.layer_times(0, 1).count(), 4);
+    }
+
+    /// Pins the `trix_sim::metrics` contract for this engine: exactly one
+    /// counter bump per pulse-rule evaluation — `pulses × (layers − 1) ×
+    /// width` for a full run (layer 0 is driven by the source, not the
+    /// rule).
+    #[test]
+    fn dataflow_bumps_metrics_once_per_rule_evaluation() {
+        let (g, env, layer0) = setup();
+        let pulses = 3;
+        crate::metrics::reset();
+        run_dataflow(&g, &env, &layer0, &MaxPlusOne, &CorrectSends, pulses);
+        let expected = (pulses * (g.layer_count() - 1) * g.width()) as u64;
+        assert_eq!(crate::metrics::total(), expected);
+    }
+
+    /// The streaming driver and the trace-backed run see identical
+    /// emissions: replaying the observer stream reconstructs the trace.
+    #[test]
+    fn observed_run_matches_trace_backed_run() {
+        struct Collect {
+            faulty: Vec<NodeId>,
+            pulses: Vec<(usize, NodeId, Time)>,
+        }
+        impl crate::Observer for Collect {
+            fn on_faulty(&mut self, node: NodeId) {
+                self.faulty.push(node);
+            }
+            fn on_pulse(&mut self, k: usize, node: NodeId, t: Time) {
+                self.pulses.push((k, node, t));
+            }
+        }
+        let (g, env, layer0) = setup();
+        let bad = g.node(2, 1);
+        let trace = run_dataflow(&g, &env, &layer0, &MaxPlusOne, &Silence(bad), 2);
+        let mut seen = Collect {
+            faulty: Vec::new(),
+            pulses: Vec::new(),
+        };
+        run_dataflow_observed(&g, &env, &layer0, &MaxPlusOne, &Silence(bad), 2, &mut seen);
+        assert_eq!(seen.faulty, vec![bad]);
+        // Bit-identical times, and every recorded trace entry is covered.
+        let mut recorded = 0;
+        for &(k, node, t) in &seen.pulses {
+            assert_eq!(trace.time(k, node), Some(t));
+            recorded += 1;
+        }
+        let in_trace = (0..2)
+            .flat_map(|k| g.nodes().map(move |n| (k, n)))
+            .filter(|&(k, n)| trace.time(k, n).is_some())
+            .count();
+        assert_eq!(recorded, in_trace);
     }
 
     #[test]

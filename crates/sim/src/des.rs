@@ -19,6 +19,7 @@
 //! "callback only broadcasts" pattern takes a fast path that never touches
 //! that buffer at all.
 
+use crate::{NullObserver, Observer};
 use trix_time::{Clock, Duration, LocalTime, PiecewiseClock, Time};
 
 /// A directed communication link with a fixed delay.
@@ -382,11 +383,12 @@ impl Des {
     /// list is read in place while events are pushed, instead of being
     /// cloned per broadcast.
     #[inline]
-    fn emit_broadcast(&mut self, node: usize) {
+    fn emit_broadcast(&mut self, node: usize, obs: &mut impl Observer) {
         self.broadcasts.push(Broadcast {
             node,
             time: self.now,
         });
+        obs.on_broadcast(node, self.now);
         for link in &self.out_links[node] {
             self.queue.push(
                 self.now + link.delay,
@@ -398,20 +400,20 @@ impl Des {
         }
     }
 
-    fn apply_sink(&mut self, node: usize, sink: &mut ActionSink) {
+    fn apply_sink(&mut self, node: usize, sink: &mut ActionSink, obs: &mut impl Observer) {
         // Fast path: the callback only broadcast. `pending_broadcasts > 0`
         // implies the ordered buffer is empty (any other action spills
         // pending broadcasts into it first).
         if sink.pending_broadcasts > 0 {
             debug_assert!(sink.actions.is_empty());
             for _ in 0..std::mem::take(&mut sink.pending_broadcasts) {
-                self.emit_broadcast(node);
+                self.emit_broadcast(node, obs);
             }
             return;
         }
         for action in sink.actions.drain(..) {
             match action {
-                Action::Broadcast => self.emit_broadcast(node),
+                Action::Broadcast => self.emit_broadcast(node, obs),
                 Action::SendTo(to) => {
                     let delay = self.out_links[node]
                         .iter()
@@ -451,6 +453,21 @@ impl Des {
     ///
     /// Panics if `nodes.len()` does not match the engine's node count.
     pub fn run(&mut self, nodes: &mut [Box<dyn Node>], until: Time) {
+        self.run_observed(nodes, until, &mut NullObserver);
+    }
+
+    /// Runs the simulation like [`Des::run`], streaming every broadcast
+    /// to `obs` via [`Observer::on_broadcast`] as it is recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` does not match the engine's node count.
+    pub fn run_observed(
+        &mut self,
+        nodes: &mut [Box<dyn Node>],
+        until: Time,
+        obs: &mut impl Observer,
+    ) {
         assert_eq!(nodes.len(), self.node_count(), "node count mismatch");
         let mut sink = ActionSink::default();
         for (id, node) in nodes.iter_mut().enumerate() {
@@ -461,7 +478,7 @@ impl Des {
                 sink: &mut sink,
             };
             node.on_start(&mut api);
-            self.apply_sink(id, &mut sink);
+            self.apply_sink(id, &mut sink, obs);
         }
         while let Some(t) = self.queue.peek_time() {
             if t > until || self.events_processed >= self.max_events {
@@ -485,7 +502,7 @@ impl Des {
                 EventKind::Deliver { from, .. } => nodes[id].on_pulse(from as usize, &mut api),
                 EventKind::Timer { tag, .. } => nodes[id].on_timer(tag, &mut api),
             }
-            self.apply_sink(id, &mut sink);
+            self.apply_sink(id, &mut sink, obs);
         }
         self.now = until.max(self.now);
     }
@@ -666,6 +683,55 @@ mod tests {
         des.run(&mut nodes, Time::from(1.0));
         assert_eq!(des.broadcasts().len(), 1);
         assert_eq!(des.broadcasts()[0].time, Time::ZERO);
+    }
+
+    /// Pins the `trix_sim::metrics` contract for this engine: exactly one
+    /// counter bump per processed queue event, i.e. the thread-local
+    /// total equals [`Des::events_processed`].
+    #[test]
+    fn des_bumps_metrics_once_per_event() {
+        let mut des = Des::new(vec![AffineClock::PERFECT.into(); 2]);
+        des.add_link(
+            0,
+            Link {
+                to: 1,
+                delay: Duration::from(2.0),
+            },
+        );
+        let mut nodes: Vec<Box<dyn Node>> = vec![
+            Box::new(Ticker {
+                period: Duration::from(1.0),
+                remaining: 5,
+            }),
+            Box::new(Sink::default()),
+        ];
+        crate::metrics::reset();
+        des.run(&mut nodes, Time::from(100.0));
+        assert!(des.events_processed() > 0);
+        assert_eq!(crate::metrics::total(), des.events_processed());
+    }
+
+    /// `run_observed` streams every broadcast, in the exact order and with
+    /// the exact times of the engine's own broadcast log.
+    #[test]
+    fn observed_run_streams_broadcasts() {
+        struct Log(Vec<(usize, Time)>);
+        impl crate::Observer for Log {
+            fn on_broadcast(&mut self, node: usize, t: Time) {
+                self.0.push((node, t));
+            }
+        }
+        let mut des = Des::new(vec![AffineClock::with_rate(2.0).into()]);
+        let mut nodes: Vec<Box<dyn Node>> = vec![Box::new(Ticker {
+            period: Duration::from(10.0),
+            remaining: 3,
+        })];
+        let mut log = Log(Vec::new());
+        des.run_observed(&mut nodes, Time::from(100.0), &mut log);
+        let expected: Vec<(usize, Time)> =
+            des.broadcasts().iter().map(|b| (b.node, b.time)).collect();
+        assert_eq!(log.0, expected);
+        assert_eq!(log.0.len(), 3);
     }
 
     #[test]

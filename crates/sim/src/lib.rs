@@ -13,9 +13,12 @@
 //!   spurious messages, babbling faults, intra-layer links (HEX).
 //!
 //! Shared infrastructure: a deterministic [`Rng`] (SplitMix64 +
-//! Xoshiro256**) and [`Environment`] implementations assigning delays and
-//! clocks, including slowly-varying per-pulse variants for the
-//! Corollary 1.5 experiments.
+//! Xoshiro256**), [`Environment`] implementations assigning delays and
+//! clocks (including slowly-varying per-pulse variants for the
+//! Corollary 1.5 experiments), and the streaming [`Observer`] hooks both
+//! engines feed on every pulse emission — [`run_dataflow_observed`] and
+//! [`Des::run_observed`] let monitors in `trix-obs` compute statistics
+//! online without materializing an `O(nodes × pulses)` trace.
 //!
 //! # Examples
 //!
@@ -37,11 +40,14 @@ mod dataflow;
 mod des;
 mod env;
 pub mod metrics;
+mod observer;
 mod rng;
 
 pub use dataflow::{
-    run_dataflow, CorrectSends, Layer0Source, OffsetLayer0, PulseRule, PulseTrace, SendModel,
+    run_dataflow, run_dataflow_observed, CorrectSends, Layer0Source, OffsetLayer0, PulseRule,
+    PulseTrace, SendModel,
 };
 pub use des::{Broadcast, Des, EventQueue, Link, Node, NodeApi};
 pub use env::{Environment, PerPulseEnvironment, SequenceEnvironment, StaticEnvironment};
+pub use observer::{NullObserver, Observer};
 pub use rng::{splitmix64, Rng};

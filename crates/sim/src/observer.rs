@@ -1,0 +1,146 @@
+//! Streaming observation hooks for both simulation engines.
+//!
+//! Every experiment used to materialize a full [`crate::PulseTrace`] (one
+//! timestamp per node per pulse) and analyze it post-hoc, so memory grew
+//! `O(nodes × pulses)`. The [`Observer`] trait inverts that: the engines
+//! push each pulse emission to the observer as it happens, and observers
+//! decide what to retain — a full trace, `O(nodes)` streaming statistics,
+//! or a bounded ring of recent events. The `trix-obs` crate provides the
+//! standard implementations (`StreamingSkew`, `TraceRing`, `FullTrace`);
+//! this module only defines the hook surface, which must live next to the
+//! engines to keep the crate DAG acyclic (`trix-obs` depends on
+//! `trix-sim`).
+//!
+//! Both engines report here:
+//!
+//! * the dataflow executor ([`crate::run_dataflow_observed`]) calls
+//!   [`Observer::on_pulse`] with the `(iteration, node, nominal time)` of
+//!   every fired pulse, in deterministic `(k, layer, v)` order, after
+//!   announcing faulty positions via [`Observer::on_faulty`];
+//! * the event-driven engine ([`crate::Des::run_observed`]) calls
+//!   [`Observer::on_broadcast`] with the engine node index and real time
+//!   of every broadcast, in event order.
+//!
+//! All hooks default to no-ops so implementations only override the
+//! events they care about, and a no-op observer compiles away from the
+//! engine hot loops.
+
+use trix_time::Time;
+use trix_topology::NodeId;
+
+/// A streaming consumer of simulation pulse emissions.
+///
+/// Implementations must be deterministic functions of the event sequence:
+/// the bit-reproducibility of the sweep runner extends to everything an
+/// observer computes.
+pub trait Observer {
+    /// A grid position is faulty (dataflow executor; called once per
+    /// faulty node before any pulse of the run is emitted). Skew
+    /// observers exclude these nodes, mirroring
+    /// [`crate::PulseTrace::is_faulty`].
+    fn on_faulty(&mut self, node: NodeId) {
+        let _ = node;
+    }
+
+    /// `node` emitted its iteration-`k` pulse at real time `t` (dataflow
+    /// executor). The time is the *nominal* broadcast time, exactly what
+    /// [`crate::PulseTrace::time`] would record; rule misfires (`None`)
+    /// are not reported.
+    fn on_pulse(&mut self, k: usize, node: NodeId, t: Time) {
+        let _ = (k, node, t);
+    }
+
+    /// Engine node `node` broadcast at real time `t` (event-driven
+    /// engine). Node indices are raw engine ids; adapters such as
+    /// `trix-obs`'s grid monitors translate them to grid positions.
+    fn on_broadcast(&mut self, node: usize, t: Time) {
+        let _ = (node, t);
+    }
+}
+
+/// The do-nothing observer: both engines' unobserved entry points run
+/// through it, so the observed drivers are the single source of truth for
+/// the execution semantics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+impl<O: Observer + ?Sized> Observer for &mut O {
+    fn on_faulty(&mut self, node: NodeId) {
+        (**self).on_faulty(node);
+    }
+
+    fn on_pulse(&mut self, k: usize, node: NodeId, t: Time) {
+        (**self).on_pulse(k, node, t);
+    }
+
+    fn on_broadcast(&mut self, node: usize, t: Time) {
+        (**self).on_broadcast(node, t);
+    }
+}
+
+/// Fan-out composition: `(a, b)` forwards every event to `a` then `b`
+/// (e.g. a `StreamingSkew` monitor plus a `TraceRing` for post-mortems).
+impl<A: Observer, B: Observer> Observer for (A, B) {
+    fn on_faulty(&mut self, node: NodeId) {
+        self.0.on_faulty(node);
+        self.1.on_faulty(node);
+    }
+
+    fn on_pulse(&mut self, k: usize, node: NodeId, t: Time) {
+        self.0.on_pulse(k, node, t);
+        self.1.on_pulse(k, node, t);
+    }
+
+    fn on_broadcast(&mut self, node: usize, t: Time) {
+        self.0.on_broadcast(node, t);
+        self.1.on_broadcast(node, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        faulty: usize,
+        pulses: usize,
+        broadcasts: usize,
+    }
+
+    impl Observer for Counter {
+        fn on_faulty(&mut self, _node: NodeId) {
+            self.faulty += 1;
+        }
+        fn on_pulse(&mut self, _k: usize, _node: NodeId, _t: Time) {
+            self.pulses += 1;
+        }
+        fn on_broadcast(&mut self, _node: usize, _t: Time) {
+            self.broadcasts += 1;
+        }
+    }
+
+    #[test]
+    fn tuple_observer_fans_out() {
+        let mut pair = (Counter::default(), Counter::default());
+        pair.on_faulty(NodeId::new(0, 0));
+        pair.on_pulse(0, NodeId::new(1, 0), Time::from(1.0));
+        pair.on_broadcast(3, Time::from(2.0));
+        for c in [&pair.0, &pair.1] {
+            assert_eq!((c.faulty, c.pulses, c.broadcasts), (1, 1, 1));
+        }
+    }
+
+    #[test]
+    fn mut_ref_observer_delegates() {
+        let mut c = Counter::default();
+        {
+            let mut r: &mut Counter = &mut c;
+            r.on_pulse(0, NodeId::new(0, 0), Time::ZERO);
+            Observer::on_broadcast(&mut r, 0, Time::ZERO);
+        }
+        assert_eq!((c.pulses, c.broadcasts), (1, 1));
+    }
+}

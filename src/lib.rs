@@ -17,7 +17,8 @@
 //! |---|---|
 //! | [`time`] | `Time`/`LocalTime`/`Duration` newtypes, hardware clock models |
 //! | [`topology`] | base graphs (Fig 2), layered DAG (Fig 3), HEX grid, ancestor cones |
-//! | [`sim`] | deterministic RNG, environments, dataflow executor, DES engine |
+//! | [`sim`] | deterministic RNG, environments, dataflow executor, DES engine, observer hooks |
+//! | [`obs`] | streaming observability: online skew monitors, bounded trace rings, full-trace adapter |
 //! | [`core`] | the Gradient TRIX algorithm: `Params`, corrections, Algorithms 1–4, condition oracles |
 //! | [`faults`] | Byzantine behaviors, placements, transient corruption |
 //! | [`baselines`] | naive TRIX (LW20) and HEX (DFL+16) |
@@ -53,6 +54,7 @@ pub use trix_analysis as analysis;
 pub use trix_baselines as baselines;
 pub use trix_core as core;
 pub use trix_faults as faults;
+pub use trix_obs as obs;
 pub use trix_sim as sim;
 pub use trix_time as time;
 pub use trix_topology as topology;

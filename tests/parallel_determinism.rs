@@ -4,14 +4,14 @@
 //! `tests/determinism.rs` pins for single executions, lifted to whole
 //! sweeps.
 
-use trix_bench::{run_suite, Scale};
+use trix_bench::{run_suite, Scale, TraceMode};
 use trix_runner::{Fnv, SweepRunner};
 
 /// FNV fingerprint of a sweep outcome: every table cell and every
 /// non-volatile record field (same harness as `tests/determinism.rs`,
 /// via [`trix_runner::Fnv`]).
-fn sweep_fingerprint(scale: Scale, base_seed: u64, threads: usize) -> u64 {
-    let outcome = run_suite(scale, base_seed, threads);
+fn sweep_fingerprint(scale: Scale, base_seed: u64, threads: usize, mode: TraceMode) -> u64 {
+    let outcome = run_suite(scale, base_seed, threads, mode);
     let mut h = Fnv::new();
     for table in &outcome.tables {
         h.write_str(table.title());
@@ -40,8 +40,8 @@ fn sweep_fingerprint(scale: Scale, base_seed: u64, threads: usize) -> u64 {
 
 #[test]
 fn sharded_sweep_equals_serial_sweep() {
-    let serial = sweep_fingerprint(Scale::Smoke, 0xDE7E_2517, 1);
-    let sharded = sweep_fingerprint(Scale::Smoke, 0xDE7E_2517, 4);
+    let serial = sweep_fingerprint(Scale::Smoke, 0xDE7E_2517, 1, TraceMode::Full);
+    let sharded = sweep_fingerprint(Scale::Smoke, 0xDE7E_2517, 4, TraceMode::Full);
     assert_eq!(
         serial, sharded,
         "4-thread sweep diverged from the serial sweep"
@@ -50,11 +50,11 @@ fn sharded_sweep_equals_serial_sweep() {
 
 #[test]
 fn sharded_sweep_is_stable_across_repeats_and_widths() {
-    let reference = sweep_fingerprint(Scale::Smoke, 1, 2);
+    let reference = sweep_fingerprint(Scale::Smoke, 1, 2, TraceMode::Full);
     for threads in [2, 8] {
         assert_eq!(
             reference,
-            sweep_fingerprint(Scale::Smoke, 1, threads),
+            sweep_fingerprint(Scale::Smoke, 1, threads, TraceMode::Full),
             "thread count {threads} changed the sweep"
         );
     }
@@ -63,17 +63,37 @@ fn sharded_sweep_is_stable_across_repeats_and_widths() {
 #[test]
 fn different_base_seeds_produce_different_sweeps() {
     assert_ne!(
-        sweep_fingerprint(Scale::Smoke, 1, 2),
-        sweep_fingerprint(Scale::Smoke, 2, 2),
+        sweep_fingerprint(Scale::Smoke, 1, 2, TraceMode::Full),
+        sweep_fingerprint(Scale::Smoke, 2, 2, TraceMode::Full),
         "base seed must reach the scenario seeds"
     );
 }
 
 #[test]
 fn canonical_json_reports_are_byte_identical_across_thread_counts() {
-    let serial = run_suite(Scale::Smoke, 7, 1).report.canonicalized();
-    let sharded = run_suite(Scale::Smoke, 7, 3).report.canonicalized();
+    let serial = run_suite(Scale::Smoke, 7, 1, TraceMode::Full)
+        .report
+        .canonicalized();
+    let sharded = run_suite(Scale::Smoke, 7, 3, TraceMode::Full)
+        .report
+        .canonicalized();
     assert_eq!(serial.to_json(), sharded.to_json());
+}
+
+/// The `--no-trace` streaming suite is held to the same bar: sharding
+/// must not change a single bit of any record — including the streamed
+/// skew statistics (compared through the canonical JSON, which
+/// serializes the full `skew` objects).
+#[test]
+fn no_trace_sweep_is_deterministic_across_thread_counts() {
+    let serial = run_suite(Scale::Smoke, 3, 1, TraceMode::NoTrace)
+        .report
+        .canonicalized();
+    let sharded = run_suite(Scale::Smoke, 3, 4, TraceMode::NoTrace)
+        .report
+        .canonicalized();
+    assert_eq!(serial.to_json(), sharded.to_json());
+    assert!(serial.records.iter().all(|r| r.skew.is_some()));
 }
 
 #[test]

@@ -1,0 +1,147 @@
+//! Streaming-vs-post-hoc equivalence across the whole experiment suite.
+//!
+//! The `--no-trace` mode's contract: every statistic the streaming skew
+//! observer records must be **bit-identical** to what the post-hoc
+//! analyzer (`trix_analysis::skew` over a full `PulseTrace`) computes for
+//! the same workload — for any `--threads` value. This test replays every
+//! scenario of the smoke-scale `--no-trace` suite from its *benchmark
+//! record alone* (params + derived seeds), re-runs it through the classic
+//! trace-backed path, recomputes all skew statistics batch-style, and
+//! compares `SkewSummary`s with `==` on the raw `f64`s — no tolerance.
+
+use gradient_trix::analysis::{global_skew, inter_layer_skew, intra_layer_skew};
+use gradient_trix::core::GradientTrixRule;
+use gradient_trix::obs::SkewStats;
+use gradient_trix::sim::CorrectSends;
+use gradient_trix::topology::LayeredGraph;
+use trix_bench::common::{
+    grid, merge_snapshots, run_gradient_trix, standard_params, streaming_monitor,
+};
+use trix_bench::{run_suite, Scale, TraceMode};
+use trix_runner::BenchRecord;
+
+/// Batch recomputation of a [`SkewStats`] snapshot from a full trace,
+/// folding in the same pulse order as the streaming monitor.
+fn post_hoc_stats(g: &LayeredGraph, pulses: usize, seed: u64) -> SkewStats {
+    let p = standard_params();
+    let rule = GradientTrixRule::new(p);
+    let (trace, _) = run_gradient_trix(g, &p, &rule, &CorrectSends, pulses, seed);
+    // The suite's standard monitor shape (κ/2 bins): recompute the
+    // histogram the same way the observer bins per-pulse maxima.
+    let reference = streaming_monitor(g, &p);
+    let bin_width = reference.intra().histogram().bin_width();
+    let bin_count = reference.intra().histogram().bins().len();
+
+    let mut max_intra = 0.0f64;
+    let mut max_inter = 0.0f64;
+    let mut max_global = 0.0f64;
+    let mut sum_intra = 0.0f64;
+    let mut count_intra = 0u64;
+    let mut hist = vec![0u64; bin_count];
+    for k in 0..pulses {
+        let mut pulse_intra: Option<f64> = None;
+        let mut pulse_global: Option<f64> = None;
+        for layer in 0..g.layer_count() {
+            if let Some(s) = intra_layer_skew(g, &trace, k, layer) {
+                let s = s.as_f64();
+                pulse_intra = Some(pulse_intra.map_or(s, |w| w.max(s)));
+            }
+            if let Some(s) = global_skew(g, &trace, k, layer) {
+                let s = s.as_f64();
+                pulse_global = Some(pulse_global.map_or(s, |w| w.max(s)));
+            }
+            if let Some(s) = inter_layer_skew(g, &trace, k, layer) {
+                max_inter = max_inter.max(s.as_f64());
+            }
+        }
+        if let Some(s) = pulse_intra {
+            max_intra = max_intra.max(s);
+            sum_intra += s;
+            count_intra += 1;
+            hist[((s / bin_width) as usize).min(bin_count - 1)] += 1;
+        }
+        if let Some(s) = pulse_global {
+            max_global = max_global.max(s);
+        }
+    }
+    SkewStats {
+        max_intra,
+        max_inter,
+        max_full: max_intra.max(max_inter),
+        max_global,
+        mean_intra: if count_intra == 0 {
+            0.0
+        } else {
+            sum_intra / count_intra as f64
+        },
+        pulses: pulses as u64,
+        hist_bin_width: bin_width,
+        hist_intra: hist,
+    }
+}
+
+fn param(record: &BenchRecord, key: &str) -> Option<usize> {
+    record
+        .params
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+#[test]
+fn suite_streaming_stats_equal_post_hoc_for_any_thread_count() {
+    let base_seed = 0x0b5e_2017;
+    let serial = run_suite(Scale::Smoke, base_seed, 1, TraceMode::NoTrace);
+    let sharded = run_suite(Scale::Smoke, base_seed, 4, TraceMode::NoTrace);
+    // Sharding invariance first — including every streamed statistic.
+    assert_eq!(
+        serial.report.canonicalized().to_json(),
+        sharded.report.canonicalized().to_json(),
+        "no-trace sweep diverged across thread counts"
+    );
+    assert!(serial.violations.is_empty(), "{:?}", serial.violations);
+    assert!(!serial.report.records.is_empty());
+
+    // Every record replays bit-identically through the full-trace path.
+    for record in &serial.report.records {
+        let recorded = record
+            .skew
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}/{}: no skew stats", record.experiment, record.scenario));
+        let width = param(record, "width").expect("width param");
+        let layers = param(record, "layers").unwrap_or(width); // exp_scale: square
+        let pulses = param(record, "pulses").expect("pulses param");
+        let g = grid(width, layers);
+        let snaps: Vec<SkewStats> = record
+            .seeds
+            .iter()
+            .map(|&seed| post_hoc_stats(&g, pulses, seed))
+            .collect();
+        let expected = merge_snapshots(&snaps);
+        assert_eq!(
+            &expected, recorded,
+            "{}/{}: streaming stats differ from post-hoc analysis",
+            record.experiment, record.scenario
+        );
+    }
+}
+
+/// The new schema round-trips through disk: the written
+/// `BENCH_exp_scale.json` re-reads byte-identically and carries the v2
+/// version tag plus the streamed statistics.
+#[test]
+fn exp_scale_record_round_trips_schema_v2() {
+    let outcome = run_suite(Scale::Smoke, 7, 2, TraceMode::NoTrace);
+    let report = outcome.report.filtered("exp_scale");
+    assert!(!report.records.is_empty());
+    let json = report.to_json();
+    assert!(json.contains("\"schema_version\": 2"));
+    assert!(json.contains("\"skew\": {\"max_intra\":"));
+    let path = std::env::temp_dir().join("BENCH_exp_scale_roundtrip.json");
+    std::fs::write(&path, &json).expect("write");
+    let back = std::fs::read_to_string(&path).expect("read");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(json, back, "BENCH_exp_scale.json did not round-trip");
+    // Serializing the identical in-memory report reproduces the file.
+    assert_eq!(report.to_json(), back);
+}
