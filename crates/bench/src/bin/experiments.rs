@@ -6,8 +6,8 @@
 //!
 //! ```text
 //! gradient-trix-experiments [--quick | --smoke] [--no-trace] [--csv]
-//!                           [--out DIR] [--threads N] [--seed S]
-//!                           [--json PATH] [--only EXPERIMENT]
+//!                           [--out DIR] [--threads N] [--sim-threads M]
+//!                           [--seed S] [--json PATH] [--only EXPERIMENT]
 //!                           [--canonical]
 //! ```
 //!
@@ -15,6 +15,14 @@
 //!   runs tiny sizes for the CI gate (a second or two).
 //! * `--threads N` shards scenarios over `N` OS threads (`0` = one per
 //!   CPU; default `0`). Results are bit-identical for every `N`.
+//! * `--sim-threads M` shards each streaming scenario's dataflow layers
+//!   over `M` workers *inside* the scenario
+//!   (`trix_sim::run_dataflow_parallel`; `0` = one per CPU, default `1`).
+//!   Like `--threads`, it never changes results — only wall time — and
+//!   is recorded in every benchmark record (schema v3). Auto-size one
+//!   level, not both: `--threads 0 --sim-threads 0` multiplies into
+//!   CPU² threads (every concurrently running scenario spawns a full
+//!   complement of dataflow workers).
 //! * `--seed S` sets the base seed all per-scenario seeds derive from.
 //! * `--json PATH` writes the versioned benchmark report (one record per
 //!   scenario: params, seeds, event counts, value stats, fingerprint,
@@ -44,6 +52,7 @@ struct Args {
     csv: bool,
     out_dir: Option<String>,
     threads: usize,
+    sim_threads: usize,
     seed: u64,
     json: Option<String>,
     only: Option<String>,
@@ -51,8 +60,8 @@ struct Args {
 }
 
 const USAGE: &str = "usage: gradient-trix-experiments [--quick | --smoke] [--no-trace] [--csv] \
-                     [--out DIR] [--threads N] [--seed S] [--json PATH] \
-                     [--only EXPERIMENT] [--canonical]";
+                     [--out DIR] [--threads N] [--sim-threads M] [--seed S] \
+                     [--json PATH] [--only EXPERIMENT] [--canonical]";
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut parsed = Args {
@@ -61,6 +70,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         csv: false,
         out_dir: None,
         threads: 0,
+        sim_threads: 1,
         seed: 0,
         json: None,
         only: None,
@@ -86,6 +96,12 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 parsed.threads = v
                     .parse()
                     .map_err(|_| format!("invalid --threads value: {v}"))?;
+            }
+            "--sim-threads" => {
+                let v = value_of("--sim-threads")?;
+                parsed.sim_threads = v
+                    .parse()
+                    .map_err(|_| format!("invalid --sim-threads value: {v}"))?;
             }
             "--seed" => {
                 let v = value_of("--seed")?;
@@ -135,7 +151,7 @@ fn main() -> ExitCode {
     }
 
     let start = std::time::Instant::now();
-    let mut scenarios = all_scenarios(args.scale, args.seed, args.mode);
+    let mut scenarios = all_scenarios(args.scale, args.seed, args.mode, args.sim_threads);
     if let Some(only) = &args.only {
         scenarios.retain(|s| s.experiment() == only);
         if scenarios.is_empty() {

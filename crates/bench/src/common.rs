@@ -7,7 +7,8 @@ use trix_core::{GradientTrixRule, Layer0Line, Params};
 use trix_obs::{SkewStats, StreamingSkew};
 use trix_runner::SkewSummary;
 use trix_sim::{
-    run_dataflow, run_dataflow_observed, Observer, PulseTrace, Rng, SendModel, StaticEnvironment,
+    run_dataflow, run_dataflow_observed, run_dataflow_parallel, Observer, PulseTrace, Rng,
+    SendModel, StaticEnvironment,
 };
 use trix_time::Duration;
 use trix_topology::{BaseGraph, LayeredGraph};
@@ -60,13 +61,20 @@ pub fn run_gradient_trix(
 /// pulse emission to `obs` instead of materializing a trace: peak memory
 /// is `O(width)` driver state plus whatever the observer retains
 /// (`O(nodes)` for `trix_obs::StreamingSkew`).
+///
+/// `sim_threads` shards each layer's width across that many dataflow
+/// workers (`trix_sim::run_dataflow_parallel`; `1` = the serial engine,
+/// `0` = one worker per CPU). The emission stream — and therefore every
+/// statistic any observer computes — is bit-identical for every value.
+#[allow(clippy::too_many_arguments)] // mirrors the engine signature + the thread knob
 pub fn run_gradient_trix_streaming(
     g: &LayeredGraph,
     params: &Params,
     rule: &GradientTrixRule,
-    sends: &impl SendModel,
+    sends: &(impl SendModel + Sync),
     pulses: usize,
     seed: u64,
+    sim_threads: usize,
     obs: &mut impl Observer,
 ) {
     let root = Rng::seed_from(seed);
@@ -74,7 +82,11 @@ pub fn run_gradient_trix_streaming(
     let mut layer0_rng = root.fork(2);
     let env = StaticEnvironment::random(g, params.d(), params.u(), params.theta(), &mut env_rng);
     let layer0 = Layer0Line::random_for_line(params, g.width(), &mut layer0_rng);
-    run_dataflow_observed(g, &env, &layer0, rule, sends, pulses, obs);
+    if sim_threads == 1 {
+        run_dataflow_observed(g, &env, &layer0, rule, sends, pulses, obs);
+    } else {
+        run_dataflow_parallel(g, &env, &layer0, rule, sends, pulses, sim_threads, obs);
+    }
 }
 
 /// One grid of a streaming (`--no-trace`) twin sweep.
@@ -98,53 +110,53 @@ pub fn streaming_grid(width: usize, layers: usize, pulses: usize) -> StreamingGr
 }
 
 /// Folds per-seed streaming snapshots into one benchmark
-/// [`SkewSummary`]: maxima fold with `max`, pulse counts and histograms
-/// add, and the mean is the sample-count-weighted mean of the per-seed
-/// means (the histogram mass *is* the intra sample count, pinned by the
-/// `trix-obs` property tests).
+/// [`SkewSummary`], delegating the partial-merge semantics to
+/// [`SkewStats::merge`] in `trix-obs` (maxima fold with `max`, pulse
+/// counts and histograms add, the mean is sample-count-weighted; the
+/// histogram mass *is* the intra sample count, pinned by the `trix-obs`
+/// property tests). `tests/streaming_equivalence.rs` replays records
+/// through this same fold, so the merge used by the sweep and the merge
+/// used to verify it cannot drift.
 pub fn merge_snapshots(snaps: &[SkewStats]) -> SkewSummary {
-    let mut out = SkewSummary {
-        max_intra: 0.0,
-        max_inter: 0.0,
-        max_full: 0.0,
-        max_global: 0.0,
-        mean_intra: 0.0,
-        pulses: 0,
-        hist_bin_width: snaps.first().map_or(0.0, |s| s.hist_bin_width),
-        hist_intra: vec![0; snaps.first().map_or(0, |s| s.hist_intra.len())],
+    let Some((first, rest)) = snaps.split_first() else {
+        return SkewSummary {
+            max_intra: 0.0,
+            max_inter: 0.0,
+            max_full: 0.0,
+            max_global: 0.0,
+            mean_intra: 0.0,
+            pulses: 0,
+            hist_bin_width: 0.0,
+            hist_intra: Vec::new(),
+        };
     };
-    let mut weighted_sum = 0.0;
-    let mut samples = 0u64;
-    for s in snaps {
-        // Exhaustive destructuring: adding a field to `SkewStats` must
-        // fail to compile here rather than silently vanish from the
-        // merged benchmark records (SkewSummary mirrors these fields).
-        let SkewStats {
-            max_intra,
-            max_inter,
-            max_full,
-            max_global,
-            mean_intra,
-            pulses,
-            hist_bin_width: _,
-            hist_intra,
-        } = s;
-        out.max_intra = out.max_intra.max(*max_intra);
-        out.max_inter = out.max_inter.max(*max_inter);
-        out.max_full = out.max_full.max(*max_full);
-        out.max_global = out.max_global.max(*max_global);
-        out.pulses += pulses;
-        let count: u64 = hist_intra.iter().sum();
-        weighted_sum += mean_intra * count as f64;
-        samples += count;
-        for (acc, b) in out.hist_intra.iter_mut().zip(hist_intra) {
-            *acc += b;
-        }
+    let mut merged = first.clone();
+    for s in rest {
+        merged.merge(s);
     }
-    if samples > 0 {
-        out.mean_intra = weighted_sum / samples as f64;
+    // Exhaustive destructuring: a field added to `SkewStats` must fail
+    // to compile here rather than silently vanish from the benchmark
+    // records (SkewSummary mirrors these fields).
+    let SkewStats {
+        max_intra,
+        max_inter,
+        max_full,
+        max_global,
+        mean_intra,
+        pulses,
+        hist_bin_width,
+        hist_intra,
+    } = merged;
+    SkewSummary {
+        max_intra,
+        max_inter,
+        max_full,
+        max_global,
+        mean_intra,
+        pulses,
+        hist_bin_width,
+        hist_intra,
     }
-    out
 }
 
 /// The uniform table headers every streaming twin scenario reports
@@ -171,11 +183,13 @@ pub fn streaming_skew_result(
     experiment: &str,
     grid_spec: StreamingGrid,
     seeds: &[u64],
+    sim_threads: usize,
 ) -> ScenarioResult {
     streaming_skew_result_observed(
         &format!("{experiment} — streaming skew, no trace (O(nodes) memory)"),
         grid_spec,
         seeds,
+        sim_threads,
         &mut trix_sim::NullObserver,
     )
 }
@@ -187,6 +201,7 @@ pub fn streaming_skew_result_observed(
     title: &str,
     grid_spec: StreamingGrid,
     seeds: &[u64],
+    sim_threads: usize,
     extra: &mut impl Observer,
 ) -> ScenarioResult {
     let p = standard_params();
@@ -203,6 +218,7 @@ pub fn streaming_skew_result_observed(
                 &trix_sim::CorrectSends,
                 grid_spec.pulses,
                 seed,
+                sim_threads,
                 &mut (&mut skew, &mut *extra),
             );
             skew.finish();
@@ -260,6 +276,7 @@ pub fn streaming_scenarios(
     experiment: &'static str,
     scale: Scale,
     base_seed: u64,
+    sim_threads: usize,
     grids: Vec<StreamingGrid>,
 ) -> Vec<Scenario> {
     grids
@@ -282,8 +299,9 @@ pub fn streaming_scenarios(
                     kv("mode", "stream"),
                 ],
                 &seeds,
-                move || streaming_skew_result(experiment, spec, &job_seeds),
+                move || streaming_skew_result(experiment, spec, &job_seeds, sim_threads),
             )
+            .with_sim_threads(sim_threads)
         })
         .collect()
 }

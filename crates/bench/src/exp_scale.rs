@@ -42,13 +42,16 @@ pub fn widths(scale: Scale) -> &'static [usize] {
 /// Runs one streaming scale scenario: the shared streaming skew job on a
 /// square grid of `width`, with a bounded [`TraceRing`] riding along so a
 /// Theorem 1.1 oracle violation ships the tail of the pulse stream — the
-/// post-mortem a full trace would be too large to keep.
-pub fn run(width: usize, pulses: usize, seeds: &[u64]) -> ScenarioResult {
+/// post-mortem a full trace would be too large to keep. `sim_threads`
+/// shards each layer's width across that many dataflow workers (the
+/// `--sim-threads` knob); the result is bit-identical for every value.
+pub fn run(width: usize, pulses: usize, seeds: &[u64], sim_threads: usize) -> ScenarioResult {
     let mut ring = TraceRing::new(RING_CAPACITY);
     let mut result = streaming_skew_result_observed(
         "exp_scale — streaming skew at 10× full-trace grid widths",
         streaming_grid(width, width, pulses),
         seeds,
+        sim_threads,
         &mut ring,
     );
     for v in &mut result.violations {
@@ -60,7 +63,7 @@ pub fn run(width: usize, pulses: usize, seeds: &[u64]) -> ScenarioResult {
 /// Scenario decomposition: one scenario per grid width. `exp_scale` is
 /// streaming-only by construction, so the decomposition is identical in
 /// both trace modes.
-pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
+pub fn scenarios(scale: Scale, base_seed: u64, sim_threads: usize) -> Vec<Scenario> {
     let pulses = 4;
     widths(scale)
         .iter()
@@ -74,8 +77,9 @@ pub fn scenarios(scale: Scale, base_seed: u64) -> Vec<Scenario> {
                 format!("w={w}"),
                 vec![kv("width", w), kv("pulses", pulses), kv("mode", "stream")],
                 &seeds,
-                move || run(w, pulses, &job_seeds),
+                move || run(w, pulses, &job_seeds, sim_threads),
             )
+            .with_sim_threads(sim_threads)
         })
         .collect()
 }
@@ -86,16 +90,34 @@ mod tests {
 
     #[test]
     fn smoke_scenarios_hold_the_bound_and_carry_stats() {
-        for s in scenarios(Scale::Smoke, 0) {
+        for s in scenarios(Scale::Smoke, 0, 1) {
             assert_eq!(s.experiment(), "exp_scale");
         }
-        let result = run(16, 3, &[1, 2]);
+        let result = run(16, 3, &[1, 2], 1);
         assert!(result.violations.is_empty(), "{:?}", result.violations);
         let skew = result.skew.expect("streaming stats recorded");
         assert!(skew.max_intra > 0.0);
         assert!(skew.max_full >= skew.max_intra);
         assert_eq!(skew.pulses, 6); // 3 pulses × 2 seeds
         assert_eq!(result.table.len(), 1);
+    }
+
+    /// The determinism contract at the experiment level: sharding a
+    /// scenario's dataflow across workers changes nothing — not one bit
+    /// of the table, the statistics, or the oracle outcome.
+    #[test]
+    fn sim_threads_do_not_change_the_scenario_result() {
+        let serial = run(16, 3, &[1, 2], 1);
+        for sim_threads in [2, 4] {
+            let sharded = run(16, 3, &[1, 2], sim_threads);
+            assert_eq!(
+                crate::suite::table_fingerprint(&serial.table),
+                crate::suite::table_fingerprint(&sharded.table),
+                "sim_threads = {sim_threads}"
+            );
+            assert_eq!(serial.skew, sharded.skew, "sim_threads = {sim_threads}");
+            assert_eq!(serial.violations, sharded.violations);
+        }
     }
 
     /// The scale claim itself: a grid 10× wider than the widest
@@ -105,7 +127,7 @@ mod tests {
     /// `O(nodes × pulses)` allocation exists on this path.
     #[test]
     fn ten_x_grid_completes_streaming() {
-        let result = run(1280, 1, &[7]);
+        let result = run(1280, 1, &[7], 0);
         assert!(result.violations.is_empty(), "{:?}", result.violations);
         let skew = result.skew.expect("stats");
         assert_eq!(skew.pulses, 1);

@@ -109,7 +109,18 @@ impl TraceMode {
 /// per-scenario seeds derive from `(base_seed, experiment name, scenario
 /// index)`, so the list — and with it every record of a sweep — is
 /// independent of thread count and stable under suite reordering.
-pub fn all_scenarios(scale: Scale, base_seed: u64, mode: TraceMode) -> Vec<Scenario> {
+///
+/// `sim_threads` is the intra-scenario dataflow worker count
+/// (`--sim-threads`: `1` = serial engine, `0` = one worker per CPU),
+/// threaded into every streaming scenario and `exp_scale`; results are
+/// bit-identical for every value (the parallel engine's determinism
+/// contract), so it only trades wall time.
+pub fn all_scenarios(
+    scale: Scale,
+    base_seed: u64,
+    mode: TraceMode,
+    sim_threads: usize,
+) -> Vec<Scenario> {
     let mut scenarios = Vec::new();
     if mode == TraceMode::NoTrace {
         // Streaming twins: every experiment contributes its grid
@@ -139,11 +150,15 @@ pub fn all_scenarios(scale: Scale, base_seed: u64, mode: TraceMode) -> Vec<Scena
         ];
         for (experiment, grids) in twins {
             scenarios.extend(common::streaming_scenarios(
-                experiment, scale, base_seed, grids,
+                experiment,
+                scale,
+                base_seed,
+                sim_threads,
+                grids,
             ));
         }
         // §19 Streaming scale sweep (streaming-only in both modes).
-        scenarios.extend(exp_scale::scenarios(scale, base_seed));
+        scenarios.extend(exp_scale::scenarios(scale, base_seed, sim_threads));
         return scenarios;
     }
     // §1 Table 1.
@@ -183,19 +198,28 @@ pub fn all_scenarios(scale: Scale, base_seed: u64, mode: TraceMode) -> Vec<Scena
     // §18 Adversarial delay search.
     scenarios.extend(exp_adversary::scenarios(scale, base_seed));
     // §19 Streaming scale sweep (streaming-only in both modes).
-    scenarios.extend(exp_scale::scenarios(scale, base_seed));
+    scenarios.extend(exp_scale::scenarios(scale, base_seed, sim_threads));
     scenarios
 }
 
 /// Runs the full suite sharded over `threads` OS threads (0 = one per
-/// CPU) and returns tables, benchmark records, and oracle violations.
+/// CPU), with `sim_threads` dataflow workers *inside* each streaming
+/// scenario, and returns tables, benchmark records, and oracle
+/// violations.
 ///
-/// Bit-for-bit deterministic: everything except per-record wall times is
-/// identical for every `threads` value (`tests/parallel_determinism.rs`),
-/// in both trace modes.
-pub fn run_suite(scale: Scale, base_seed: u64, threads: usize, mode: TraceMode) -> SuiteOutcome {
+/// Bit-for-bit deterministic: everything except per-record wall times
+/// (and the recorded `sim_threads` metadata) is identical for every
+/// `threads` × `sim_threads` combination
+/// (`tests/parallel_determinism.rs`), in both trace modes.
+pub fn run_suite(
+    scale: Scale,
+    base_seed: u64,
+    threads: usize,
+    mode: TraceMode,
+    sim_threads: usize,
+) -> SuiteOutcome {
     suite::run_scenarios(
-        all_scenarios(scale, base_seed, mode),
+        all_scenarios(scale, base_seed, mode, sim_threads),
         scale,
         base_seed,
         threads,
@@ -205,7 +229,7 @@ pub fn run_suite(scale: Scale, base_seed: u64, threads: usize, mode: TraceMode) 
 /// Runs every experiment serially and returns the tables in presentation
 /// order (compatibility entry point; seeds derive from base seed 0).
 pub fn run_all(scale: Scale) -> Vec<Table> {
-    run_suite(scale, 0, 1, TraceMode::Full).tables
+    run_suite(scale, 0, 1, TraceMode::Full, 1).tables
 }
 
 #[cfg(test)]
@@ -214,14 +238,14 @@ mod tests {
 
     #[test]
     fn quick_run_produces_all_tables() {
-        let outcome = run_suite(Scale::Quick, 0, 1, TraceMode::Full);
+        let outcome = run_suite(Scale::Quick, 0, 1, TraceMode::Full, 1);
         assert_eq!(outcome.tables.len(), 21);
         for t in &outcome.tables {
             assert!(!t.is_empty(), "empty table: {}", t.to_markdown());
         }
         assert_eq!(
             outcome.report.records.len(),
-            all_scenarios(Scale::Quick, 0, TraceMode::Full).len()
+            all_scenarios(Scale::Quick, 0, TraceMode::Full, 1).len()
         );
         assert!(
             outcome.violations.is_empty(),
@@ -245,7 +269,7 @@ mod tests {
 
     #[test]
     fn smoke_run_is_complete_and_small() {
-        let outcome = run_suite(Scale::Smoke, 0, 0, TraceMode::Full);
+        let outcome = run_suite(Scale::Smoke, 0, 0, TraceMode::Full, 1);
         assert_eq!(outcome.tables.len(), 21);
         for t in &outcome.tables {
             assert!(!t.is_empty());
@@ -254,7 +278,7 @@ mod tests {
 
     #[test]
     fn no_trace_suite_covers_every_experiment_with_streaming_stats() {
-        let outcome = run_suite(Scale::Smoke, 0, 0, TraceMode::NoTrace);
+        let outcome = run_suite(Scale::Smoke, 0, 0, TraceMode::NoTrace, 2);
         assert!(
             outcome.violations.is_empty(),
             "oracle violations: {:?}",

@@ -53,6 +53,10 @@ pub struct Scenario {
     label: String,
     params: Vec<(String, String)>,
     seeds: Vec<u64>,
+    /// Dataflow worker count the job was built with (`1` = serial; only
+    /// scenarios that consume the `--sim-threads` knob set anything
+    /// else). Stamped into the benchmark record.
+    sim_threads: usize,
     job: Job,
 }
 
@@ -74,8 +78,18 @@ impl Scenario {
             label: label.into(),
             params,
             seeds: seeds.to_vec(),
+            sim_threads: 1,
             job: Box::new(move || job().into()),
         }
+    }
+
+    /// Declares the dataflow worker count this scenario's job actually
+    /// runs with (recorded in its benchmark record, schema v3). Only
+    /// constructors that thread `--sim-threads` into their job should
+    /// call this; everything else truthfully records the serial default.
+    pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
+        self.sim_threads = sim_threads;
+        self
     }
 
     /// The experiment this scenario belongs to.
@@ -170,6 +184,10 @@ fn table_value_stats(table: &Table) -> Option<ValueStats> {
 
 /// Runs `scenarios` on `threads` workers (0 = one per CPU) and folds the
 /// results in suite order.
+///
+/// Each record carries its scenario's declared `sim_threads` (schema
+/// v3) purely as execution metadata — canonicalized reports zero it,
+/// since results are bit-identical for every value.
 pub fn run_scenarios(
     scenarios: Vec<Scenario>,
     scale: Scale,
@@ -183,6 +201,7 @@ pub fn run_scenarios(
             label,
             params,
             seeds,
+            sim_threads,
             job,
         } = scenario;
         trix_sim::metrics::reset();
@@ -197,6 +216,7 @@ pub fn run_scenarios(
             seeds,
             rows: result.table.len(),
             events,
+            sim_threads,
             fingerprint: table_fingerprint(&result.table),
             values: table_value_stats(&result.table),
             skew: result.skew,
@@ -284,6 +304,17 @@ mod tests {
         assert_eq!(out.violations[0].experiment, "oracle");
         assert_eq!(out.violations[0].message, "SC violated at layer 3");
         assert_eq!(out.report.records[0].seeds, vec![7]);
+    }
+
+    /// Records stamp each scenario's *declared* dataflow worker count —
+    /// scenarios that never consume `--sim-threads` (all full-trace
+    /// experiments) truthfully record the serial default.
+    #[test]
+    fn records_carry_per_scenario_sim_threads() {
+        let scenarios = vec![shard("plain", 1), shard("sharded", 2).with_sim_threads(4)];
+        let out = run_scenarios(scenarios, Scale::Smoke, 0, 1);
+        assert_eq!(out.report.records[0].sim_threads, 1);
+        assert_eq!(out.report.records[1].sim_threads, 4);
     }
 
     #[test]

@@ -62,6 +62,24 @@ impl Histogram {
     pub fn bin_width(&self) -> f64 {
         self.bin_width
     }
+
+    /// Folds another histogram's counts into this one (bin-wise sum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different shapes — merging is
+    /// only defined over identically configured partials.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bin_width.to_bits(),
+            other.bin_width.to_bits(),
+            "histogram bin widths differ"
+        );
+        assert_eq!(self.bins.len(), other.bins.len(), "histogram sizes differ");
+        for (acc, b) in self.bins.iter_mut().zip(&other.bins) {
+            *acc += b;
+        }
+    }
 }
 
 /// Running aggregate of a non-negative sample stream: max, sum, count,
@@ -115,6 +133,24 @@ impl RunningStat {
     pub fn histogram(&self) -> &Histogram {
         &self.hist
     }
+
+    /// Folds another aggregate into this one, as if every sample the
+    /// other recorded had been recorded here: `max` folds with `max`,
+    /// sums and counts add, histograms merge bin-wise.
+    ///
+    /// `max`, `count`, and the histogram are **exact** under any
+    /// partitioning of the sample stream; the merged mean can differ
+    /// from a single-stream mean only by floating-point summation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram shapes differ (see [`Histogram::merge`]).
+    pub fn merge(&mut self, other: &RunningStat) {
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+        self.hist.merge(&other.hist);
+    }
 }
 
 /// A plain-data snapshot of a completed [`StreamingSkew`] run — what the
@@ -138,6 +174,63 @@ pub struct SkewStats {
     pub hist_bin_width: f64,
     /// Histogram of the per-pulse intra-layer maxima.
     pub hist_intra: Vec<u64>,
+}
+
+impl SkewStats {
+    /// Folds another snapshot into this one — the partial-merge used to
+    /// combine statistics of **independent runs** of the same workload
+    /// shape (per-seed shards of one scenario, per-scenario shards of one
+    /// sweep): maxima fold with `max`, pulse counts and histograms add,
+    /// and the mean becomes the sample-count-weighted mean of the two
+    /// partial means, with the histogram mass as the intra sample count
+    /// (the mass *is* that count, pinned by this crate's property tests).
+    ///
+    /// Keeping snapshots mergeable is what lets sweep drivers emit one
+    /// `O(width)`-state monitor per chunk of work and still report a
+    /// single summary, instead of retaining per-chunk traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram shapes differ.
+    pub fn merge(&mut self, other: &SkewStats) {
+        // Exhaustive destructuring: adding a field to `SkewStats` must
+        // fail to compile here rather than silently vanish from merged
+        // benchmark records.
+        let SkewStats {
+            max_intra,
+            max_inter,
+            max_full,
+            max_global,
+            mean_intra,
+            pulses,
+            hist_bin_width,
+            hist_intra,
+        } = other;
+        assert_eq!(
+            self.hist_bin_width.to_bits(),
+            hist_bin_width.to_bits(),
+            "histogram bin widths differ"
+        );
+        assert_eq!(
+            self.hist_intra.len(),
+            hist_intra.len(),
+            "histogram sizes differ"
+        );
+        let self_mass: u64 = self.hist_intra.iter().sum();
+        let other_mass: u64 = hist_intra.iter().sum();
+        if self_mass + other_mass > 0 {
+            self.mean_intra = (self.mean_intra * self_mass as f64 + mean_intra * other_mass as f64)
+                / (self_mass + other_mass) as f64;
+        }
+        self.max_intra = self.max_intra.max(*max_intra);
+        self.max_inter = self.max_inter.max(*max_inter);
+        self.max_full = self.max_full.max(*max_full);
+        self.max_global = self.max_global.max(*max_global);
+        self.pulses += pulses;
+        for (acc, b) in self.hist_intra.iter_mut().zip(hist_intra) {
+            *acc += b;
+        }
+    }
 }
 
 /// Incremental intra-layer, inter-layer, and global skew tracking over
@@ -326,6 +419,39 @@ impl StreamingSkew {
         &self.global
     }
 
+    /// Folds another **finished** monitor's statistics into this one
+    /// (which must also be finished): pulse counts add and all three
+    /// running aggregates merge via [`RunningStat::merge`].
+    ///
+    /// This is the partial-merge for monitors fed by *independent*
+    /// emission streams — different seeds, different scenarios of a
+    /// sweep. It deliberately does not splice pulse fronts: samples that
+    /// cross a split point of one logical stream (the inter-layer pair
+    /// at a pulse boundary) belong to whichever monitor saw both sides,
+    /// which is why the parallel dataflow driver flushes chunk emissions
+    /// to a single observer in serial order rather than splitting one
+    /// run across monitors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either monitor has not been [`finish`](Self::finish)ed,
+    /// if the graph shapes differ, or if the histogram shapes differ.
+    pub fn merge(&mut self, other: &StreamingSkew) {
+        assert!(
+            self.finished && other.finished,
+            "merge requires both monitors to be finished"
+        );
+        assert_eq!(
+            (self.g.width(), self.g.layer_count()),
+            (other.g.width(), other.g.layer_count()),
+            "graph shapes differ"
+        );
+        self.pulses += other.pulses;
+        self.intra.merge(&other.intra);
+        self.inter.merge(&other.inter);
+        self.global.merge(&other.global);
+    }
+
     /// Plain-data snapshot of the completed run.
     ///
     /// # Panics
@@ -430,6 +556,78 @@ mod tests {
             h.record(v);
         }
         assert_eq!(h.bins(), &[2, 1, 0, 2]);
+    }
+
+    /// Per-seed partial monitors merge into exactly what the per-seed
+    /// snapshots say: max folds, counts and histogram mass add, and the
+    /// merged mean is the sum-weighted mean of the partials.
+    #[test]
+    fn merged_monitors_equal_componentwise_folds() {
+        let g = LayeredGraph::new(BaseGraph::cycle(4), 3);
+        let run = |scale: f64| {
+            let mut s = StreamingSkew::new(&g);
+            for k in 0..3usize {
+                for n in g.nodes() {
+                    let t = k as f64 * 100.0 + n.layer as f64 * 10.0 + n.v as f64 * scale;
+                    s.on_pulse(k, n, Time::from(t));
+                }
+            }
+            s.finish();
+            s
+        };
+        let (a, b) = (run(1.0), run(2.0));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.pulses(), a.pulses() + b.pulses());
+        assert_eq!(
+            merged.max_intra_layer_skew(),
+            a.max_intra_layer_skew().max(b.max_intra_layer_skew())
+        );
+        assert_eq!(
+            merged.max_global_skew(),
+            a.max_global_skew().max(b.max_global_skew())
+        );
+        assert_eq!(
+            merged.intra().count(),
+            a.intra().count() + b.intra().count()
+        );
+        let mass: u64 = merged.intra().histogram().bins().iter().sum();
+        assert_eq!(mass, merged.intra().count());
+        // Sum-based merged mean == pooled mean of the two sample sets.
+        let pooled = (a.intra().mean() * a.intra().count() as f64
+            + b.intra().mean() * b.intra().count() as f64)
+            / (a.intra().count() + b.intra().count()) as f64;
+        assert!((merged.intra().mean() - pooled).abs() < 1e-12);
+
+        // Snapshot-level merge agrees on the exact fields.
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        let from_monitors = merged.snapshot();
+        assert_eq!(snap.max_intra, from_monitors.max_intra);
+        assert_eq!(snap.max_full, from_monitors.max_full);
+        assert_eq!(snap.max_global, from_monitors.max_global);
+        assert_eq!(snap.pulses, from_monitors.pulses);
+        assert_eq!(snap.hist_intra, from_monitors.hist_intra);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin widths differ")]
+    fn histogram_merge_rejects_mismatched_shapes() {
+        let mut a = Histogram::new(0.5, 4);
+        let b = Histogram::new(0.25, 4);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished")]
+    fn merge_requires_finished_monitors() {
+        let g = LayeredGraph::new(BaseGraph::cycle(3), 2);
+        let other = {
+            let mut s = StreamingSkew::new(&g);
+            s.finish();
+            s
+        };
+        StreamingSkew::new(&g).merge(&other);
     }
 
     #[test]

@@ -178,6 +178,71 @@ proptest! {
         prop_assert_eq!(stream.intra().mean(), batch_mean);
     }
 
+    /// Partial-merge soundness over random independent runs: folding
+    /// per-seed `StreamingSkew` monitors with `merge` yields exactly the
+    /// componentwise fold of their snapshots — maxima fold with `max`,
+    /// counts/histograms add bin-wise (so chunked sweeps can keep one
+    /// `O(width)`-state partial per unit of work and still report a
+    /// single summary), and `SkewStats::merge` agrees field for field.
+    #[test]
+    fn merged_partials_equal_componentwise_snapshot_folds(
+        seed in any::<u64>(),
+        runs in 2usize..5,
+        pulses in 1usize..4,
+    ) {
+        let g = LayeredGraph::new(BaseGraph::cycle(5), 3);
+        let monitors: Vec<StreamingSkew> = (0..runs as u64)
+            .map(|i| {
+                let mut rng = Rng::seed_from(seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+                let env = StaticEnvironment::random(
+                    &g,
+                    Duration::from(10.0),
+                    Duration::from(2.0),
+                    1.05,
+                    &mut rng,
+                );
+                let offsets = (0..g.width()).map(|_| rng.f64_in(0.0, 3.0)).collect();
+                let layer0 = OffsetLayer0::new(25.0, offsets);
+                let mut s = StreamingSkew::new(&g);
+                run_dataflow_observed(&g, &env, &layer0, &MaxPlus, &CorrectSends, pulses, &mut s);
+                s.finish();
+                s
+            })
+            .collect();
+        let mut merged = monitors[0].clone();
+        for m in &monitors[1..] {
+            merged.merge(m);
+        }
+        let snaps: Vec<_> = monitors.iter().map(|m| m.snapshot()).collect();
+        let fold_max = |f: fn(&trix_obs::SkewStats) -> f64| {
+            snaps.iter().map(f).fold(0.0f64, f64::max)
+        };
+        let out = merged.snapshot();
+        prop_assert_eq!(out.max_intra, fold_max(|s| s.max_intra));
+        prop_assert_eq!(out.max_inter, fold_max(|s| s.max_inter));
+        prop_assert_eq!(out.max_global, fold_max(|s| s.max_global));
+        prop_assert_eq!(out.pulses, snaps.iter().map(|s| s.pulses).sum::<u64>());
+        let mass: Vec<u64> = out.hist_intra.clone();
+        let mut expected_mass = vec![0u64; mass.len()];
+        for s in &snaps {
+            for (acc, b) in expected_mass.iter_mut().zip(&s.hist_intra) {
+                *acc += b;
+            }
+        }
+        prop_assert_eq!(mass, expected_mass);
+        // Snapshot-level merge (`SkewStats::merge`) agrees on the exact
+        // fields and stays within float-merge tolerance on the mean.
+        let mut stats = snaps[0].clone();
+        for s in &snaps[1..] {
+            stats.merge(s);
+        }
+        prop_assert_eq!(stats.max_intra, out.max_intra);
+        prop_assert_eq!(stats.max_full, out.max_full);
+        prop_assert_eq!(stats.pulses, out.pulses);
+        prop_assert_eq!(stats.hist_intra, out.hist_intra);
+        prop_assert!((stats.mean_intra - out.mean_intra).abs() <= 1e-9);
+    }
+
     /// The histogram's total mass equals the number of recorded pulses.
     #[test]
     fn histogram_mass_equals_pulse_count(seed in any::<u64>(), pulses in 1usize..6) {

@@ -19,7 +19,12 @@ use std::fmt::Write as _;
 /// * **2** — added the per-record `skew` object ([`SkewSummary`]):
 ///   streaming skew statistics for scenarios that ran with an online
 ///   skew observer (`null` otherwise).
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+/// * **3** — added the per-record `sim_threads` field: the
+///   intra-scenario dataflow worker count the scenario ran with
+///   (additive; like `wall_secs` it describes *how* the run executed,
+///   not *what* it computed, so [`BenchReport::canonicalized`] zeroes
+///   it for byte-identity comparisons across thread counts).
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Streaming skew statistics of one scenario, produced by an online
 /// observer (`trix_obs::StreamingSkew`) during the run — the `skew`
@@ -125,6 +130,14 @@ pub struct BenchRecord {
     pub rows: usize,
     /// Simulated events executed (dataflow rule evaluations + DES events).
     pub events: u64,
+    /// Intra-scenario dataflow worker count the scenario's job was built
+    /// with (`1` = serial engine — including every scenario that does
+    /// not consume the `--sim-threads` knob, such as the full-trace
+    /// experiments; `0` = one worker per CPU; schema v3).
+    /// Execution-config metadata: zeroed by
+    /// [`BenchReport::canonicalized`], since sharded and serial runs are
+    /// bit-identical everywhere else.
+    pub sim_threads: usize,
     /// FNV-1a fingerprint of the scenario's table cells.
     pub fingerprint: u64,
     /// Stats over the numeric table cells, if any.
@@ -151,12 +164,14 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// A copy with every volatile (wall-time) field zeroed, for
-    /// byte-identity comparisons across thread counts.
+    /// A copy with every execution-volatile field zeroed — wall times
+    /// and intra-scenario worker counts — for byte-identity comparisons
+    /// across `--threads` and `--sim-threads` values.
     pub fn canonicalized(&self) -> Self {
         let mut copy = self.clone();
         for r in &mut copy.records {
             r.wall_secs = 0.0;
+            r.sim_threads = 0;
         }
         copy
     }
@@ -227,6 +242,7 @@ impl BenchRecord {
         out.push(']');
         let _ = write!(out, ", \"rows\": {}", self.rows);
         let _ = write!(out, ", \"events\": {}", self.events);
+        let _ = write!(out, ", \"sim_threads\": {}", self.sim_threads);
         let _ = write!(out, ", \"fingerprint\": \"{:#018x}\"", self.fingerprint);
         match &self.values {
             Some(v) => {
@@ -302,6 +318,7 @@ mod tests {
                 seeds: vec![1, 2],
                 rows: 1,
                 events: 192,
+                sim_threads: 4,
                 fingerprint: 0xDEAD_BEEF,
                 values: ValueStats::of([1.0, 3.0]),
                 skew: None,
@@ -313,11 +330,12 @@ mod tests {
     #[test]
     fn json_contains_versioned_schema_and_fields() {
         let j = sample().to_json();
-        assert!(j.contains("\"schema_version\": 2"));
+        assert!(j.contains("\"schema_version\": 3"));
         assert!(j.contains("\"experiment\": \"thm11\""));
         assert!(j.contains("\"params\": {\"width\": \"8\"}"));
         assert!(j.contains("\"seeds\": [1, 2]"));
         assert!(j.contains("\"events\": 192"));
+        assert!(j.contains("\"sim_threads\": 4"));
         assert!(j.contains("\"fingerprint\": \"0x00000000deadbeef\""));
         assert!(j.contains("\"values\": {\"min\": 1, \"max\": 3, \"mean\": 2, \"count\": 2}"));
         assert!(j.contains("\"skew\": null"));
@@ -346,15 +364,18 @@ mod tests {
     }
 
     #[test]
-    fn canonicalized_zeroes_wall_time_only() {
+    fn canonicalized_zeroes_execution_volatile_fields_only() {
         let r = sample();
         let c = r.canonicalized();
         assert_eq!(c.records[0].wall_secs, 0.0);
+        assert_eq!(c.records[0].sim_threads, 0);
         assert_eq!(c.records[0].events, r.records[0].events);
-        // Identical sweeps differing only in wall time serialize equal
-        // after canonicalization.
+        // Identical sweeps differing only in wall time or dataflow
+        // worker count serialize equal after canonicalization — the
+        // contract behind CI's `--sim-threads 4` vs serial `cmp` gate.
         let mut other = sample();
         other.records[0].wall_secs = 99.0;
+        other.records[0].sim_threads = 1;
         assert_eq!(c.to_json(), other.canonicalized().to_json());
     }
 

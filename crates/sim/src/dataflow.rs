@@ -18,8 +18,11 @@
 //! exercised through the event-driven engine.
 
 use crate::{Environment, Observer};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
 use trix_time::{AffineClock, Time};
-use trix_topology::{LayeredGraph, NodeId};
+use trix_topology::{EdgeId, InEdgeCsr, LayeredGraph, NodeId};
 
 /// A per-node pulse-forwarding decision rule.
 ///
@@ -291,11 +294,13 @@ pub fn run_dataflow_observed(
             obs.on_faulty(n);
         }
     }
+    let csr = g.in_edge_csr();
+    let clocks = env.pulse_invariant_clocks();
     // Nominal pulse times of the layer currently feeding (`prev`, layer
     // ℓ−1) and the layer being computed (`cur`, layer ℓ), iteration `k`.
     let mut prev: Vec<Option<Time>> = vec![None; g.width()];
     let mut cur: Vec<Option<Time>> = vec![None; g.width()];
-    let mut neighbor_arrivals: Vec<Option<Time>> = Vec::new();
+    let mut scratch: Vec<Option<Time>> = Vec::with_capacity(csr.max_in_degree());
     for k in 0..pulses {
         for (v, slot) in prev.iter_mut().enumerate() {
             let t = layer0.pulse_time(k, v);
@@ -303,30 +308,302 @@ pub fn run_dataflow_observed(
             obs.on_pulse(k, g.node(v, 0), t);
         }
         for layer in 1..g.layer_count() {
-            for w in 0..g.width() {
-                let target = g.node(w, layer);
-                let own_sender = g.node(w, layer - 1);
-                let own = sends
-                    .send_time(own_sender, k, prev[w], target)
-                    .map(|t| t + env.delay(k, g.own_in_edge(target)));
-                neighbor_arrivals.clear();
-                for (slot, &x) in g.base().neighbors(w).iter().enumerate() {
-                    let sender = g.node(x, layer - 1);
-                    let arrival = sends
-                        .send_time(sender, k, prev[x], target)
-                        .map(|t| t + env.delay(k, g.neighbor_in_edge(target, slot)));
-                    neighbor_arrivals.push(arrival);
-                }
-                let clock = env.clock(k, target);
-                let t = rule.pulse_time(target, k, own, &neighbor_arrivals, &clock);
-                crate::metrics::bump(1);
-                cur[w] = t;
-                if let Some(t) = t {
-                    obs.on_pulse(k, target, t);
+            eval_layer_chunk(
+                g,
+                env,
+                rule,
+                sends,
+                &csr,
+                clocks,
+                k,
+                layer,
+                0,
+                &prev,
+                &mut cur,
+                &mut scratch,
+            );
+            crate::metrics::bump(g.width() as u64);
+            for (w, slot) in cur.iter().enumerate() {
+                if let Some(t) = *slot {
+                    obs.on_pulse(k, NodeId::new(w as u32, layer as u32), t);
                 }
             }
             std::mem::swap(&mut prev, &mut cur);
         }
+    }
+}
+
+/// Evaluates the pulse rule for the contiguous column chunk
+/// `lo .. lo + out.len()` of one layer, writing nominal times into `out`
+/// (`out[i]` = column `lo + i`).
+///
+/// This is the shared inner loop of the serial and parallel drivers: a
+/// pure function of `prev` (the full layer-`ℓ−1` row) per column, so any
+/// partition into chunks computes bit-identical times. All edge lookups
+/// go through the precomputed [`InEdgeCsr`]; `scratch` is the caller's
+/// reusable neighbor-arrival buffer (no per-node allocation).
+#[allow(clippy::too_many_arguments)]
+fn eval_layer_chunk(
+    g: &LayeredGraph,
+    env: &impl Environment,
+    rule: &impl PulseRule,
+    sends: &impl SendModel,
+    csr: &InEdgeCsr,
+    clocks: Option<&[AffineClock]>,
+    k: usize,
+    layer: usize,
+    lo: usize,
+    prev: &[Option<Time>],
+    out: &mut [Option<Time>],
+    scratch: &mut Vec<Option<Time>>,
+) {
+    let boundary_base = (layer - 1) * g.edges_per_boundary();
+    let sender_layer = (layer - 1) as u32;
+    for (i, slot) in out.iter_mut().enumerate() {
+        let w = lo + i;
+        let target = NodeId::new(w as u32, layer as u32);
+        let row = csr.in_edges(w);
+        let own = sends
+            .send_time(NodeId::new(w as u32, sender_layer), k, prev[w], target)
+            .map(|t| t + env.delay(k, EdgeId(boundary_base + row[0].edge as usize)));
+        scratch.clear();
+        for entry in &row[1..] {
+            let sender = NodeId::new(entry.pred, sender_layer);
+            let arrival = sends
+                .send_time(sender, k, prev[entry.pred as usize], target)
+                .map(|t| t + env.delay(k, EdgeId(boundary_base + entry.edge as usize)));
+            scratch.push(arrival);
+        }
+        *slot = match clocks {
+            Some(cache) => rule.pulse_time(target, k, own, scratch, &cache[layer * g.width() + w]),
+            None => {
+                let clock = env.clock(k, target);
+                rule.pulse_time(target, k, own, scratch, &clock)
+            }
+        };
+    }
+}
+
+/// Resolves a thread-count knob: `0` means one worker per available CPU
+/// (matching `trix_runner::SweepRunner`'s convention).
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
+
+/// [`run_dataflow_observed`] with the width dimension sharded across
+/// `threads` OS workers — **bit-identical output for every thread
+/// count**.
+///
+/// Iteration `k` of layer `ℓ` depends only on iteration `k` of layer
+/// `ℓ − 1` (paper Lemma B.1), and each node's nominal time is a pure
+/// function of that previous row — so the width dimension of a layer is
+/// embarrassingly parallel. The driver splits each layer into fixed
+/// contiguous column chunks evaluated by persistent `std::thread::scope`
+/// workers (spawned once per run, synchronized with a [`Barrier`] per
+/// layer; no per-layer spawn cost, no unsafe, no new dependencies); each
+/// worker writes its chunk into its own staging buffer, and the calling
+/// thread alone publishes the completed row and flushes every observer
+/// emission in the serial driver's `(k, layer, v)` order. Simulated-event
+/// metrics are likewise batched onto the calling thread, so
+/// `trix_sim::metrics::total()` matches a serial run exactly.
+///
+/// `threads == 0` means one worker per available CPU — note this
+/// resolves per call, so combining it with an auto-sized *scenario*
+/// sweep (`SweepRunner::new(0)`) oversubscribes quadratically; pick one
+/// level to auto-size. With one worker (or a single-layer graph) this
+/// delegates to the serial driver outright.
+///
+/// # Panics
+///
+/// A panic anywhere in `rule`/`env`/`sends`/`layer0` — on any worker —
+/// aborts the run and re-raises the original payload on the calling
+/// thread, exactly like the serial driver (the barrier protocol is shut
+/// down cleanly first; `std::sync::Barrier` has no poisoning, so without
+/// this the surviving threads would deadlock).
+#[allow(clippy::too_many_arguments)] // the serial driver's signature + the thread knob
+pub fn run_dataflow_parallel(
+    g: &LayeredGraph,
+    env: &(impl Environment + Sync),
+    layer0: &(impl Layer0Source + Sync),
+    rule: &(impl PulseRule + Sync),
+    sends: &(impl SendModel + Sync),
+    pulses: usize,
+    threads: usize,
+    obs: &mut impl Observer,
+) {
+    let width = g.width();
+    let workers = resolve_threads(threads).min(width);
+    if workers <= 1 || g.layer_count() <= 1 || pulses == 0 {
+        run_dataflow_observed(g, env, layer0, rule, sends, pulses, obs);
+        return;
+    }
+    for n in g.nodes() {
+        if sends.is_faulty(n) {
+            obs.on_faulty(n);
+        }
+    }
+    let csr = g.in_edge_csr();
+    let clocks = env.pulse_invariant_clocks();
+    // Fixed contiguous column chunks; worker `c` owns `bounds[c]`. The
+    // partition never influences results (each column is a pure function
+    // of the previous row), only load balance.
+    let chunk = width.div_ceil(workers);
+    // Ceil chunking can leave empty tail chunks (width 5 over 4 workers
+    // → chunks of 2 need only 3 workers); drop them.
+    let workers = width.div_ceil(chunk);
+    let bounds: Vec<(usize, usize)> = (0..workers)
+        .map(|c| (c * chunk, ((c + 1) * chunk).min(width)))
+        .collect();
+    // The published layer-(ℓ−1) row. Workers hold read locks while
+    // evaluating; the driver takes the write lock only between the
+    // "chunks done" and "row published" barriers, when every worker is
+    // parked — the locks never contend, they just prove disjointness to
+    // the borrow checker (this crate forbids unsafe code).
+    let prev: RwLock<Vec<Option<Time>>> = RwLock::new(vec![None; width]);
+    let outs: Vec<Mutex<Vec<Option<Time>>>> = bounds
+        .iter()
+        .map(|&(lo, hi)| Mutex::new(vec![None; hi - lo]))
+        .collect();
+    let barrier = Barrier::new(workers);
+    let layer_count = g.layer_count();
+    // Panic containment. Every compute/publish phase runs under
+    // `catch_unwind`; the first payload is stashed here and `aborted` is
+    // raised in its place. All threads re-check the flag at the *same*
+    // post-barrier points — every store to it happens before one of the
+    // barriers, so after each barrier all participants read the same
+    // value and exit the protocol together; the payload is then re-raised
+    // on the calling thread. `AssertUnwindSafe` is sound because nothing
+    // protected by it is used after an abort.
+    let aborted = AtomicBool::new(false);
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let report = |e: Box<dyn std::any::Any + Send>| {
+        let mut slot = panic_payload.lock().unwrap_or_else(|p| p.into_inner());
+        slot.get_or_insert(e);
+        aborted.store(true, Ordering::Release);
+    };
+    // Lock helpers that shrug off poisoning: a poisoned lock only means
+    // some thread panicked mid-phase, which `aborted` already handles.
+    let read_prev = || prev.read().unwrap_or_else(|p| p.into_inner());
+    let write_prev = || prev.write().unwrap_or_else(|p| p.into_inner());
+    let lock_out = |c: usize| outs[c].lock().unwrap_or_else(|p| p.into_inner());
+    std::thread::scope(|scope| {
+        for (c, &(lo, _)) in bounds.iter().enumerate().skip(1) {
+            let (barrier, csr, aborted, report) = (&barrier, &csr, &aborted, &report);
+            let (read_prev, lock_out) = (&read_prev, &lock_out);
+            scope.spawn(move || {
+                let mut scratch = Vec::with_capacity(csr.max_in_degree());
+                for k in 0..pulses {
+                    barrier.wait(); // layer-0 row published
+                    if aborted.load(Ordering::Acquire) {
+                        return;
+                    }
+                    for layer in 1..layer_count {
+                        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            let row = read_prev();
+                            let mut out = lock_out(c);
+                            eval_layer_chunk(
+                                g,
+                                env,
+                                rule,
+                                sends,
+                                csr,
+                                clocks,
+                                k,
+                                layer,
+                                lo,
+                                &row,
+                                &mut out,
+                                &mut scratch,
+                            );
+                        }));
+                        if let Err(e) = result {
+                            report(e);
+                        }
+                        barrier.wait(); // all chunks computed
+                        barrier.wait(); // driver published the row
+                        if aborted.load(Ordering::Acquire) {
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        // The calling thread doubles as worker 0 and as the driver that
+        // owns every observer emission.
+        let (lo0, _) = bounds[0];
+        let mut scratch = Vec::with_capacity(csr.max_in_degree());
+        'run: for k in 0..pulses {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut row = write_prev();
+                for (v, slot) in row.iter_mut().enumerate() {
+                    let t = layer0.pulse_time(k, v);
+                    *slot = Some(t);
+                    obs.on_pulse(k, g.node(v, 0), t);
+                }
+            }));
+            if let Err(e) = result {
+                report(e);
+            }
+            barrier.wait(); // layer-0 row published
+            if aborted.load(Ordering::Acquire) {
+                break 'run;
+            }
+            for layer in 1..layer_count {
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let row = read_prev();
+                    let mut out = lock_out(0);
+                    eval_layer_chunk(
+                        g,
+                        env,
+                        rule,
+                        sends,
+                        &csr,
+                        clocks,
+                        k,
+                        layer,
+                        lo0,
+                        &row,
+                        &mut out,
+                        &mut scratch,
+                    );
+                }));
+                if let Err(e) = result {
+                    report(e);
+                }
+                barrier.wait(); // all chunks computed
+                if !aborted.load(Ordering::Acquire) {
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        let mut row = write_prev();
+                        for (c, &(lo, hi)) in bounds.iter().enumerate() {
+                            row[lo..hi].copy_from_slice(&lock_out(c));
+                        }
+                        crate::metrics::bump(width as u64);
+                        for (v, slot) in row.iter().enumerate() {
+                            if let Some(t) = *slot {
+                                obs.on_pulse(k, NodeId::new(v as u32, layer as u32), t);
+                            }
+                        }
+                    }));
+                    if let Err(e) = result {
+                        report(e);
+                    }
+                }
+                barrier.wait(); // row published
+                if aborted.load(Ordering::Acquire) {
+                    break 'run;
+                }
+            }
+        }
+    });
+    if let Some(payload) = panic_payload
+        .into_inner()
+        .unwrap_or_else(|p| p.into_inner())
+    {
+        std::panic::resume_unwind(payload);
     }
 }
 
@@ -422,18 +699,37 @@ mod tests {
         assert_eq!(trace.layer_times(0, 1).count(), 4);
     }
 
-    /// Pins the `trix_sim::metrics` contract for this engine: exactly one
-    /// counter bump per pulse-rule evaluation — `pulses × (layers − 1) ×
-    /// width` for a full run (layer 0 is driven by the source, not the
-    /// rule).
+    /// Pins the `trix_sim::metrics` contract for this engine: the
+    /// **total** equals one event per pulse-rule evaluation — `pulses ×
+    /// (layers − 1) × width` for a full run (layer 0 is driven by the
+    /// source, not the rule). The counter is batched (one bump per layer
+    /// chunk, on the calling thread) so only totals are contractual, not
+    /// bump granularity — which is what keeps parallel runs' event counts
+    /// identical to serial ones.
     #[test]
-    fn dataflow_bumps_metrics_once_per_rule_evaluation() {
+    fn dataflow_metrics_total_one_event_per_rule_evaluation() {
         let (g, env, layer0) = setup();
         let pulses = 3;
+        let expected = (pulses * (g.layer_count() - 1) * g.width()) as u64;
         crate::metrics::reset();
         run_dataflow(&g, &env, &layer0, &MaxPlusOne, &CorrectSends, pulses);
-        let expected = (pulses * (g.layer_count() - 1) * g.width()) as u64;
         assert_eq!(crate::metrics::total(), expected);
+        // The parallel driver books the same totals on the calling
+        // thread, for any worker count.
+        for threads in [2, 3, 8] {
+            crate::metrics::reset();
+            run_dataflow_parallel(
+                &g,
+                &env,
+                &layer0,
+                &MaxPlusOne,
+                &CorrectSends,
+                pulses,
+                threads,
+                &mut crate::NullObserver,
+            );
+            assert_eq!(crate::metrics::total(), expected, "threads = {threads}");
+        }
     }
 
     /// The streaming driver and the trace-backed run see identical
@@ -472,6 +768,90 @@ mod tests {
             .filter(|&(k, n)| trace.time(k, n).is_some())
             .count();
         assert_eq!(recorded, in_trace);
+    }
+
+    /// One observer event stream, three drivers: the trace-backed run,
+    /// the streaming serial run, and the sharded run must be
+    /// indistinguishable — same events, same order, same bits.
+    #[test]
+    fn parallel_run_replays_the_serial_event_stream() {
+        #[derive(Default, PartialEq, Debug)]
+        struct Collect {
+            events: Vec<(usize, NodeId, Time)>,
+            faulty: Vec<NodeId>,
+        }
+        impl crate::Observer for Collect {
+            fn on_faulty(&mut self, node: NodeId) {
+                self.faulty.push(node);
+            }
+            fn on_pulse(&mut self, k: usize, node: NodeId, t: Time) {
+                self.events.push((k, node, t));
+            }
+        }
+        let (g, env, layer0) = setup();
+        let bad = g.node(1, 2);
+        let mut serial = Collect::default();
+        run_dataflow_observed(
+            &g,
+            &env,
+            &layer0,
+            &MaxPlusOne,
+            &Silence(bad),
+            3,
+            &mut serial,
+        );
+        for threads in [2, 4, 5, 16] {
+            let mut sharded = Collect::default();
+            run_dataflow_parallel(
+                &g,
+                &env,
+                &layer0,
+                &MaxPlusOne,
+                &Silence(bad),
+                3,
+                threads,
+                &mut sharded,
+            );
+            assert_eq!(serial, sharded, "threads = {threads}");
+        }
+    }
+
+    /// A panic inside a worker's rule evaluation must re-raise on the
+    /// calling thread (as the serial engine would), not deadlock the
+    /// barrier protocol — `std::sync::Barrier` has no poisoning, so this
+    /// pins the abort-flag shutdown path.
+    #[test]
+    #[should_panic(expected = "rule exploded")]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        struct Explode;
+        impl PulseRule for Explode {
+            fn pulse_time(
+                &self,
+                node: NodeId,
+                _k: usize,
+                own: Option<Time>,
+                _neighbors: &[Option<Time>],
+                _clock: &AffineClock,
+            ) -> Option<Time> {
+                // Panic on a node that lands in a *spawned* worker's
+                // chunk (chunk 1 of 3 on width 5), mid-run.
+                if node.v == 3 && node.layer == 2 {
+                    panic!("rule exploded");
+                }
+                own
+            }
+        }
+        let (g, env, layer0) = setup();
+        run_dataflow_parallel(
+            &g,
+            &env,
+            &layer0,
+            &Explode,
+            &CorrectSends,
+            3,
+            3,
+            &mut crate::NullObserver,
+        );
     }
 
     #[test]

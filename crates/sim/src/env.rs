@@ -25,6 +25,19 @@ pub trait Environment {
     /// clocks because a node's decision in one iteration only uses local
     /// time *differences* within that iteration.
     fn clock(&self, k: usize, node: NodeId) -> AffineClock;
+
+    /// Pulse-invariant per-node clock table, if this environment has one.
+    ///
+    /// When `Some(clocks)`, `clocks[layer · width + v]` must equal
+    /// [`Environment::clock`]`(k, (v, layer))` for **every** `k`. The
+    /// dataflow executors use this to cache the snapshot per node instead
+    /// of calling `clock` once per (node, pulse) — for
+    /// [`StaticEnvironment`] (clocks fixed for the whole execution, the
+    /// paper's core model) the table is just its clock vector. Per-pulse
+    /// environments keep the `None` default and take the virtual call.
+    fn pulse_invariant_clocks(&self) -> Option<&[AffineClock]> {
+        None
+    }
 }
 
 /// The static environment of the paper's core analysis: per-edge delays and
@@ -127,6 +140,11 @@ impl Environment for StaticEnvironment {
     #[inline]
     fn clock(&self, _k: usize, node: NodeId) -> AffineClock {
         self.clocks[node.layer as usize * self.width + node.v as usize]
+    }
+
+    #[inline]
+    fn pulse_invariant_clocks(&self) -> Option<&[AffineClock]> {
+        Some(&self.clocks)
     }
 }
 
@@ -246,6 +264,27 @@ mod tests {
         let mut env = StaticEnvironment::nominal(&g, Duration::from(10.0));
         env.set_delay(EdgeId(0), Duration::from(9.0));
         assert_eq!(env.delay(5, EdgeId(0)), Duration::from(9.0));
+    }
+
+    #[test]
+    fn static_environment_exposes_pulse_invariant_clocks() {
+        let g = graph();
+        let env = StaticEnvironment::from_fn(
+            &g,
+            |_| Duration::from(10.0),
+            |n| AffineClock::with_rate(1.0 + g.node_index(n) as f64 * 1e-6),
+        );
+        let cache = env.pulse_invariant_clocks().expect("static clocks");
+        for n in g.nodes() {
+            for k in [0, 3, 17] {
+                assert_eq!(cache[g.node_index(n)], env.clock(k, n));
+            }
+        }
+        // Per-pulse environments keep the default (no cache).
+        let per_pulse = PerPulseEnvironment::new(|_| {
+            StaticEnvironment::nominal(&graph(), Duration::from(10.0))
+        });
+        assert!(per_pulse.pulse_invariant_clocks().is_none());
     }
 
     #[test]

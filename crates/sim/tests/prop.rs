@@ -1,9 +1,76 @@
 //! Property tests for the simulation substrate.
 
 use proptest::prelude::*;
-use trix_sim::{Des, Link, Node, NodeApi, Rng, StaticEnvironment};
+use trix_sim::{
+    run_dataflow_observed, run_dataflow_parallel, CorrectSends, Des, Environment, Link, Node,
+    NodeApi, Observer, OffsetLayer0, PulseRule, Rng, SendModel, SequenceEnvironment,
+    StaticEnvironment,
+};
 use trix_time::{AffineClock, Duration, Time};
-use trix_topology::{BaseGraph, EdgeId, LayeredGraph};
+use trix_topology::{BaseGraph, EdgeId, LayeredGraph, NodeId};
+
+/// Fires at `max(arrivals) + 1`, scaled a little by the clock rate so
+/// environments influence the times (mirrors `crates/obs/tests/prop.rs`).
+struct MaxPlus;
+
+impl PulseRule for MaxPlus {
+    fn pulse_time(
+        &self,
+        _node: NodeId,
+        _k: usize,
+        own: Option<Time>,
+        neighbors: &[Option<Time>],
+        clock: &AffineClock,
+    ) -> Option<Time> {
+        let mut best: Option<Time> = own;
+        for &n in neighbors {
+            best = match (best, n) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        best.map(|t| t + Duration::from(clock.rate()))
+    }
+}
+
+/// Silences (and flags faulty) one node.
+struct Silence(NodeId);
+
+impl SendModel for Silence {
+    fn send_time(
+        &self,
+        node: NodeId,
+        _k: usize,
+        nominal: Option<Time>,
+        _target: NodeId,
+    ) -> Option<Time> {
+        if node == self.0 {
+            None
+        } else {
+            nominal
+        }
+    }
+
+    fn is_faulty(&self, node: NodeId) -> bool {
+        node == self.0
+    }
+}
+
+/// Records the full observer event stream, `f64` bits and all.
+#[derive(Default, PartialEq, Debug)]
+struct EventLog {
+    faulty: Vec<NodeId>,
+    pulses: Vec<(usize, NodeId, u64)>,
+}
+
+impl Observer for EventLog {
+    fn on_faulty(&mut self, node: NodeId) {
+        self.faulty.push(node);
+    }
+    fn on_pulse(&mut self, k: usize, node: NodeId, t: Time) {
+        self.pulses.push((k, node, t.as_f64().to_bits()));
+    }
+}
 
 proptest! {
     /// RNG: fork streams are stable, uniform samples are in range.
@@ -60,6 +127,83 @@ proptest! {
         prop_assert_eq!(des.broadcasts().len(), 1);
         let fired = des.broadcasts()[0].time.as_f64();
         prop_assert!((fired - dh / rate).abs() < 1e-9);
+    }
+
+    /// The parallel dataflow engine's determinism contract: for random
+    /// topologies, environments (static and per-pulse), send models, and
+    /// 1–4 workers, the sharded driver replays the serial driver's
+    /// observer stream **bit for bit** — same events, same `(k, layer,
+    /// v)` order, same `f64` bit patterns — and books the same
+    /// simulated-event totals.
+    #[test]
+    fn parallel_dataflow_is_bit_identical_to_serial(
+        seed in any::<u64>(),
+        width in 3usize..12,
+        layers in 2usize..6,
+        pulses in 1usize..5,
+        threads in 1usize..5,
+        cycle in any::<bool>(),
+        fault in any::<bool>(),
+        per_pulse in any::<bool>(),
+    ) {
+        let base = if cycle {
+            BaseGraph::cycle(width)
+        } else {
+            BaseGraph::line_with_replicated_ends(width)
+        };
+        let g = LayeredGraph::new(base, layers);
+        let mut rng = Rng::seed_from(seed);
+        let d = Duration::from(10.0);
+        let u = Duration::from(2.0);
+        let static_env = StaticEnvironment::random(&g, d, u, 1.05, &mut rng);
+        // `per_pulse` swaps in a pulse-varying environment, exercising
+        // the engine path without the pulse-invariant clock cache.
+        let seq_env = SequenceEnvironment::new(vec![
+            static_env.clone(),
+            StaticEnvironment::random(&g, d, u, 1.05, &mut rng),
+        ]);
+        let offsets = (0..g.width()).map(|_| rng.f64_in(0.0, 3.0)).collect();
+        let layer0 = OffsetLayer0::new(25.0, offsets);
+        let bad = g.node(rng.usize_below(g.width()), 1 + rng.usize_below(g.layer_count() - 1));
+
+        fn run(
+            g: &LayeredGraph,
+            env: &(impl Environment + Sync),
+            layer0: &OffsetLayer0,
+            sends: &(impl SendModel + Sync),
+            pulses: usize,
+            threads: Option<usize>,
+        ) -> (EventLog, u64) {
+            let mut log = EventLog::default();
+            trix_sim::metrics::reset();
+            match threads {
+                None => run_dataflow_observed(g, env, layer0, &MaxPlus, sends, pulses, &mut log),
+                Some(n) => {
+                    run_dataflow_parallel(g, env, layer0, &MaxPlus, sends, pulses, n, &mut log)
+                }
+            }
+            (log, trix_sim::metrics::total())
+        }
+        fn compare(
+            g: &LayeredGraph,
+            env: &(impl Environment + Sync),
+            layer0: &OffsetLayer0,
+            sends: &(impl SendModel + Sync),
+            pulses: usize,
+            threads: usize,
+        ) -> Result<(), TestCaseError> {
+            let (serial_log, serial_events) = run(g, env, layer0, sends, pulses, None);
+            let (parallel_log, parallel_events) = run(g, env, layer0, sends, pulses, Some(threads));
+            prop_assert_eq!(&serial_log, &parallel_log);
+            prop_assert_eq!(serial_events, parallel_events);
+            Ok(())
+        }
+        match (per_pulse, fault) {
+            (false, false) => compare(&g, &static_env, &layer0, &CorrectSends, pulses, threads)?,
+            (false, true) => compare(&g, &static_env, &layer0, &Silence(bad), pulses, threads)?,
+            (true, false) => compare(&g, &seq_env, &layer0, &CorrectSends, pulses, threads)?,
+            (true, true) => compare(&g, &seq_env, &layer0, &Silence(bad), pulses, threads)?,
+        }
     }
 
     /// DES delivery: messages arrive exactly delay later, in order.

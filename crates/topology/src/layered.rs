@@ -28,6 +28,110 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// One in-edge of a target column in the [`InEdgeCsr`] table.
+///
+/// `pred` is the predecessor's base-graph column; `edge` is the edge's
+/// dense index *within one layer boundary* — the global [`EdgeId`] of the
+/// edge into `(w, ℓ)` is `boundary_base + edge` where `boundary_base =
+/// (ℓ − 1) · edges_per_boundary()`. Both fields are `u32` so an entry is
+/// 8 bytes and a whole row fits in a cache line for degree-3 columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InEdge {
+    /// Predecessor base-graph column.
+    pub pred: u32,
+    /// Edge index within a single layer boundary.
+    pub edge: u32,
+}
+
+/// Flattened per-target in-edge table of one layer boundary, in CSR
+/// layout.
+///
+/// The boundary between any two consecutive layers is identical (every
+/// layer is a copy of the base graph), so one table serves the whole
+/// layered graph: the dataflow executor builds it once per run and the
+/// inner loop becomes a contiguous scan instead of re-deriving
+/// [`LayeredGraph::own_in_edge`] / [`LayeredGraph::neighbor_in_edge`] and
+/// re-pushing neighbor lists per node.
+///
+/// Row `w` (see [`InEdgeCsr::in_edges`]) lists the in-edges of every copy
+/// `(w, ℓ≥1)`: slot 0 is the "own" edge from `(w, ℓ−1)`, slots `1..` the
+/// neighbor edges in sorted base-graph neighbor order — exactly the order
+/// [`LayeredGraph::predecessors`] yields.
+///
+/// # Examples
+///
+/// ```
+/// use trix_topology::{BaseGraph, EdgeId, LayeredGraph};
+///
+/// let g = LayeredGraph::new(BaseGraph::cycle(5), 4);
+/// let csr = g.in_edge_csr();
+/// let row = csr.in_edges(2);
+/// assert_eq!(row[0].pred, 2); // own edge first
+/// let target = g.node(2, 3);
+/// let boundary_base = 2 * g.edges_per_boundary();
+/// assert_eq!(
+///     g.own_in_edge(target),
+///     EdgeId(boundary_base + row[0].edge as usize)
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct InEdgeCsr {
+    /// Row bounds: column `w`'s entries are
+    /// `entries[offsets[w] .. offsets[w + 1]]`.
+    offsets: Vec<u32>,
+    entries: Vec<InEdge>,
+}
+
+impl InEdgeCsr {
+    fn build(g: &LayeredGraph) -> Self {
+        let width = g.width();
+        let mut offsets = Vec::with_capacity(width + 1);
+        let mut entries = Vec::with_capacity(g.edges_per_boundary());
+        offsets.push(0);
+        for w in 0..width {
+            let block = g.in_edge_offsets[w];
+            entries.push(InEdge {
+                pred: w as u32,
+                edge: block as u32,
+            });
+            for (slot, &x) in g.base.neighbors(w).iter().enumerate() {
+                entries.push(InEdge {
+                    pred: x as u32,
+                    edge: (block + 1 + slot) as u32,
+                });
+            }
+            offsets.push(entries.len() as u32);
+        }
+        Self { offsets, entries }
+    }
+
+    /// The in-edges of every copy of base column `w` on layers ≥ 1: own
+    /// edge first, then sorted neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    #[inline]
+    pub fn in_edges(&self, w: usize) -> &[InEdge] {
+        &self.entries[self.offsets[w] as usize..self.offsets[w + 1] as usize]
+    }
+
+    /// Number of columns (the graph's width).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Largest in-degree over all columns (scratch-buffer sizing).
+    pub fn max_in_degree(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// Dense index of a directed edge of the layered graph.
 ///
 /// Edge indices are stable and contiguous: they index per-edge state such as
@@ -208,6 +312,12 @@ impl LayeredGraph {
         )
     }
 
+    /// Builds the flattened [`InEdgeCsr`] in-edge table (one boundary's
+    /// worth; see its docs for how global [`EdgeId`]s are reconstructed).
+    pub fn in_edge_csr(&self) -> InEdgeCsr {
+        InEdgeCsr::build(self)
+    }
+
     /// Predecessors of a node: `(v, ℓ-1)` first, then `(x, ℓ-1)` for each
     /// sorted neighbor `x`, each paired with the connecting edge.
     ///
@@ -333,6 +443,30 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s), "all edge ids must be covered");
+    }
+
+    /// The CSR table reproduces `predecessors`/`own_in_edge`/
+    /// `neighbor_in_edge` exactly, on every layer boundary.
+    #[test]
+    fn in_edge_csr_matches_predecessor_iteration() {
+        for g in [sample(), LayeredGraph::new(BaseGraph::cycle(4), 3)] {
+            let csr = g.in_edge_csr();
+            assert_eq!(csr.width(), g.width());
+            for n in g.nodes().filter(|n| n.layer > 0) {
+                let boundary_base = (n.layer as usize - 1) * g.edges_per_boundary();
+                let row = csr.in_edges(n.v as usize);
+                assert_eq!(row.len(), g.in_degree(n.v as usize));
+                let preds: Vec<_> = g.predecessors(n).collect();
+                for (entry, (p, e)) in row.iter().zip(&preds) {
+                    assert_eq!(entry.pred, p.v);
+                    assert_eq!(EdgeId(boundary_base + entry.edge as usize), *e);
+                }
+            }
+            assert_eq!(
+                csr.max_in_degree(),
+                (0..g.width()).map(|w| g.in_degree(w)).max().unwrap()
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,19 @@ use trix_runner::{Fnv, SweepRunner};
 /// non-volatile record field (same harness as `tests/determinism.rs`,
 /// via [`trix_runner::Fnv`]).
 fn sweep_fingerprint(scale: Scale, base_seed: u64, threads: usize, mode: TraceMode) -> u64 {
-    let outcome = run_suite(scale, base_seed, threads, mode);
+    sweep_fingerprint_sim(scale, base_seed, threads, mode, 1)
+}
+
+/// [`sweep_fingerprint`] with an explicit intra-scenario dataflow worker
+/// count (`--sim-threads`).
+fn sweep_fingerprint_sim(
+    scale: Scale,
+    base_seed: u64,
+    threads: usize,
+    mode: TraceMode,
+    sim_threads: usize,
+) -> u64 {
+    let outcome = run_suite(scale, base_seed, threads, mode, sim_threads);
     let mut h = Fnv::new();
     for table in &outcome.tables {
         h.write_str(table.title());
@@ -71,10 +83,34 @@ fn different_base_seeds_produce_different_sweeps() {
 
 #[test]
 fn canonical_json_reports_are_byte_identical_across_thread_counts() {
-    let serial = run_suite(Scale::Smoke, 7, 1, TraceMode::Full)
+    let serial = run_suite(Scale::Smoke, 7, 1, TraceMode::Full, 1)
         .report
         .canonicalized();
-    let sharded = run_suite(Scale::Smoke, 7, 3, TraceMode::Full)
+    let sharded = run_suite(Scale::Smoke, 7, 3, TraceMode::Full, 1)
+        .report
+        .canonicalized();
+    assert_eq!(serial.to_json(), sharded.to_json());
+}
+
+/// The tentpole determinism gate, at workspace level: sharding each
+/// scenario's dataflow layers across `--sim-threads` workers — alone and
+/// combined with scenario-level sharding — must not change one bit of
+/// any table cell or record (fingerprints cover every streamed
+/// statistic through the canonical JSON below).
+#[test]
+fn sim_threads_sweep_equals_serial_sweep() {
+    let reference = sweep_fingerprint_sim(Scale::Smoke, 11, 1, TraceMode::NoTrace, 1);
+    for (threads, sim_threads) in [(1, 2), (1, 4), (4, 2), (2, 0)] {
+        assert_eq!(
+            reference,
+            sweep_fingerprint_sim(Scale::Smoke, 11, threads, TraceMode::NoTrace, sim_threads),
+            "threads {threads} × sim_threads {sim_threads} changed the sweep"
+        );
+    }
+    let serial = run_suite(Scale::Smoke, 11, 1, TraceMode::NoTrace, 1)
+        .report
+        .canonicalized();
+    let sharded = run_suite(Scale::Smoke, 11, 4, TraceMode::NoTrace, 4)
         .report
         .canonicalized();
     assert_eq!(serial.to_json(), sharded.to_json());
@@ -86,10 +122,10 @@ fn canonical_json_reports_are_byte_identical_across_thread_counts() {
 /// serializes the full `skew` objects).
 #[test]
 fn no_trace_sweep_is_deterministic_across_thread_counts() {
-    let serial = run_suite(Scale::Smoke, 3, 1, TraceMode::NoTrace)
+    let serial = run_suite(Scale::Smoke, 3, 1, TraceMode::NoTrace, 1)
         .report
         .canonicalized();
-    let sharded = run_suite(Scale::Smoke, 3, 4, TraceMode::NoTrace)
+    let sharded = run_suite(Scale::Smoke, 3, 4, TraceMode::NoTrace, 1)
         .report
         .canonicalized();
     assert_eq!(serial.to_json(), sharded.to_json());

@@ -91,8 +91,12 @@ fn param(record: &BenchRecord, key: &str) -> Option<usize> {
 #[test]
 fn suite_streaming_stats_equal_post_hoc_for_any_thread_count() {
     let base_seed = 0x0b5e_2017;
-    let serial = run_suite(Scale::Smoke, base_seed, 1, TraceMode::NoTrace);
-    let sharded = run_suite(Scale::Smoke, base_seed, 4, TraceMode::NoTrace);
+    let serial = run_suite(Scale::Smoke, base_seed, 1, TraceMode::NoTrace, 1);
+    // Shard both across scenarios (`--threads`) and inside each
+    // scenario's dataflow (`--sim-threads`) — the replay below then pins
+    // the parallel engine's emissions bit-identical to the post-hoc
+    // trace analysis.
+    let sharded = run_suite(Scale::Smoke, base_seed, 4, TraceMode::NoTrace, 2);
     // Sharding invariance first — including every streamed statistic.
     assert_eq!(
         serial.report.canonicalized().to_json(),
@@ -127,15 +131,17 @@ fn suite_streaming_stats_equal_post_hoc_for_any_thread_count() {
 }
 
 /// The new schema round-trips through disk: the written
-/// `BENCH_exp_scale.json` re-reads byte-identically and carries the v2
-/// version tag plus the streamed statistics.
+/// `BENCH_exp_scale.json` re-reads byte-identically and carries the v3
+/// version tag, the `sim_threads` execution metadata, and the streamed
+/// statistics.
 #[test]
-fn exp_scale_record_round_trips_schema_v2() {
-    let outcome = run_suite(Scale::Smoke, 7, 2, TraceMode::NoTrace);
+fn exp_scale_record_round_trips_schema_v3() {
+    let outcome = run_suite(Scale::Smoke, 7, 2, TraceMode::NoTrace, 2);
     let report = outcome.report.filtered("exp_scale");
     assert!(!report.records.is_empty());
     let json = report.to_json();
-    assert!(json.contains("\"schema_version\": 2"));
+    assert!(json.contains("\"schema_version\": 3"));
+    assert!(json.contains("\"sim_threads\": 2"));
     assert!(json.contains("\"skew\": {\"max_intra\":"));
     let path = std::env::temp_dir().join("BENCH_exp_scale_roundtrip.json");
     std::fs::write(&path, &json).expect("write");
