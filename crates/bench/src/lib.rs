@@ -21,6 +21,7 @@ pub mod suite;
 pub mod exp_adversary;
 pub mod exp_cor423;
 pub mod exp_ext_f2;
+pub mod exp_fault_sweep;
 pub mod exp_fig1;
 pub mod exp_fig23;
 pub mod exp_fig4;
@@ -159,6 +160,8 @@ pub fn all_scenarios(
         }
         // §19 Streaming scale sweep (streaming-only in both modes).
         scenarios.extend(exp_scale::scenarios(scale, base_seed, sim_threads));
+        // §20 Fault-campaign density sweep (streaming-only in both modes).
+        scenarios.extend(exp_fault_sweep::scenarios(scale, base_seed, sim_threads));
         return scenarios;
     }
     // §1 Table 1.
@@ -199,6 +202,8 @@ pub fn all_scenarios(
     scenarios.extend(exp_adversary::scenarios(scale, base_seed));
     // §19 Streaming scale sweep (streaming-only in both modes).
     scenarios.extend(exp_scale::scenarios(scale, base_seed, sim_threads));
+    // §20 Fault-campaign density sweep (streaming-only in both modes).
+    scenarios.extend(exp_fault_sweep::scenarios(scale, base_seed, sim_threads));
     scenarios
 }
 
@@ -239,7 +244,7 @@ mod tests {
     #[test]
     fn quick_run_produces_all_tables() {
         let outcome = run_suite(Scale::Quick, 0, 1, TraceMode::Full, 1);
-        assert_eq!(outcome.tables.len(), 21);
+        assert_eq!(outcome.tables.len(), 22);
         for t in &outcome.tables {
             assert!(!t.is_empty(), "empty table: {}", t.to_markdown());
         }
@@ -270,7 +275,7 @@ mod tests {
     #[test]
     fn smoke_run_is_complete_and_small() {
         let outcome = run_suite(Scale::Smoke, 0, 0, TraceMode::Full, 1);
-        assert_eq!(outcome.tables.len(), 21);
+        assert_eq!(outcome.tables.len(), 22);
         for t in &outcome.tables {
             assert!(!t.is_empty());
         }
@@ -292,8 +297,8 @@ mod tests {
             .map(|r| r.experiment.as_str())
             .collect();
         experiments.dedup();
-        assert_eq!(experiments.len(), 19);
-        assert_eq!(experiments.last(), Some(&"exp_scale"));
+        assert_eq!(experiments.len(), 20);
+        assert_eq!(experiments.last(), Some(&"exp_fault_sweep"));
         // The whole point of the mode: every record carries streaming
         // skew statistics, and every simulated scenario counted events.
         for r in &outcome.report.records {

@@ -57,6 +57,11 @@ pub struct Scenario {
     /// scenarios that consume the `--sim-threads` knob set anything
     /// else). Stamped into the benchmark record.
     sim_threads: usize,
+    /// Fault-campaign descriptor the job declared (`None` when the
+    /// scenario declares no campaign; campaign experiments stamp every
+    /// point, fault-free controls included). Stamped into the benchmark
+    /// record (schema v4).
+    campaign: Option<String>,
     job: Job,
 }
 
@@ -79,6 +84,7 @@ impl Scenario {
             params,
             seeds: seeds.to_vec(),
             sim_threads: 1,
+            campaign: None,
             job: Box::new(move || job().into()),
         }
     }
@@ -89,6 +95,14 @@ impl Scenario {
     /// call this; everything else truthfully records the serial default.
     pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
         self.sim_threads = sim_threads;
+        self
+    }
+
+    /// Declares the fault-campaign descriptor this scenario's job runs
+    /// under — stamped into its benchmark record (schema v4), so
+    /// trajectory tooling can group records by adversary.
+    pub fn with_campaign(mut self, descriptor: impl Into<String>) -> Self {
+        self.campaign = Some(descriptor.into());
         self
     }
 
@@ -202,6 +216,7 @@ pub fn run_scenarios(
             params,
             seeds,
             sim_threads,
+            campaign,
             job,
         } = scenario;
         trix_sim::metrics::reset();
@@ -220,6 +235,7 @@ pub fn run_scenarios(
             fingerprint: table_fingerprint(&result.table),
             values: table_value_stats(&result.table),
             skew: result.skew,
+            campaign,
             wall_secs,
         };
         let violations: Vec<Violation> = result
@@ -315,6 +331,26 @@ mod tests {
         let out = run_scenarios(scenarios, Scale::Smoke, 0, 1);
         assert_eq!(out.report.records[0].sim_threads, 1);
         assert_eq!(out.report.records[1].sim_threads, 4);
+    }
+
+    /// Campaign descriptors (schema v4) ride the scenario into its
+    /// record; scenarios without one truthfully record `null`.
+    #[test]
+    fn records_carry_campaign_descriptors() {
+        let scenarios = vec![
+            shard("plain", 1),
+            shard("adversarial", 2).with_campaign("wave col=4 silent"),
+        ];
+        let out = run_scenarios(scenarios, Scale::Smoke, 0, 1);
+        assert_eq!(out.report.records[0].campaign, None);
+        assert_eq!(
+            out.report.records[1].campaign.as_deref(),
+            Some("wave col=4 silent")
+        );
+        assert!(out
+            .report
+            .to_json()
+            .contains("\"campaign\": \"wave col=4 silent\""));
     }
 
     #[test]

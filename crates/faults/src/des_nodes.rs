@@ -16,6 +16,85 @@ impl Node for SilentDesNode {
     fn on_timer(&mut self, _tag: u64, _api: &mut NodeApi<'_>) {}
 }
 
+/// Timer tag reserved by [`CrashRecoverDesNode`] for its rejoin alarm.
+///
+/// [`GradientTrixNode`] tags timers `generation · 4 + kind` with
+/// `kind < 3`, so `u64::MAX` (≡ 3 mod 4) can never collide with a
+/// forwarded inner timer.
+const REJOIN_TAG: u64 = u64::MAX;
+
+/// The DES twin of [`crate::FaultSchedule::CrashRecover`]: dead until a
+/// local rejoin time, then a [`GradientTrixNode`] waking up with
+/// **arbitrary post-reboot state**.
+///
+/// The dataflow model's crash–recover is clean by construction (the
+/// nominal time is always well-defined); the event-driven engine models
+/// what actually makes rejoin hard: the recovered node's registers hold
+/// garbage. On rejoin the inner node is scrambled exactly like the
+/// Theorem 1.6 transient-corruption workload — including states whose
+/// recorded `H_min`/`H_max` would invert once genuine pulses arrive,
+/// which the Algorithm 4 sanitization in `exit_collecting` must absorb
+/// instead of panicking (the regression this type's tests extend).
+#[derive(Clone, Debug)]
+pub struct CrashRecoverDesNode {
+    inner: GradientTrixNode,
+    rejoin_at: LocalTime,
+    scramble_seed: u64,
+    joined: bool,
+}
+
+impl CrashRecoverDesNode {
+    /// Creates a node that stays silent until local time `rejoin_at`,
+    /// then runs `inner` from a `scramble_seed`-corrupted state.
+    pub fn new(inner: GradientTrixNode, rejoin_at: LocalTime, scramble_seed: u64) -> Self {
+        Self {
+            inner,
+            rejoin_at,
+            scramble_seed,
+            joined: false,
+        }
+    }
+
+    /// Whether the node has rejoined yet.
+    pub fn joined(&self) -> bool {
+        self.joined
+    }
+}
+
+impl Node for CrashRecoverDesNode {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        api.set_timer_local(self.rejoin_at, REJOIN_TAG);
+    }
+
+    fn on_pulse(&mut self, from: usize, api: &mut NodeApi<'_>) {
+        if self.joined {
+            self.inner.on_pulse(from, api);
+        }
+        // While down, receptions are lost — a crashed block latches
+        // nothing.
+    }
+
+    fn on_timer(&mut self, tag: u64, api: &mut NodeApi<'_>) {
+        if tag == REJOIN_TAG {
+            if !self.joined {
+                self.joined = true;
+                // Reboot with arbitrary state (Thm 1.6's transient-fault
+                // model applied at rejoin time).
+                self.inner
+                    .scramble(&mut Rng::seed_from(self.scramble_seed), api.local_now());
+                self.inner.on_start(api);
+            }
+            return;
+        }
+        if self.joined {
+            self.inner.on_timer(tag, api);
+        }
+        // Timers can only have been armed by the inner node after rejoin,
+        // but guard anyway: a stale tag from a never-joined inner is
+        // impossible by construction.
+    }
+}
+
 /// A babbling node: broadcasts on its own fixed local period, ignoring all
 /// input. The period need not relate to `Λ`, so downstream nodes see
 /// arbitrarily timed spurious pulses.
@@ -92,6 +171,45 @@ pub fn scrambled_network(
         net.des.inject_delivery(to_engine, from_engine, at);
     }
     net
+}
+
+/// Builds a [`GridNetwork`] in which the grid nodes listed in `rejoins`
+/// start crashed and rejoin — with scrambled state — at the given local
+/// times: the event-driven half of a crash–recover fault campaign
+/// (the dataflow half is [`crate::FaultSchedule::CrashRecover`]).
+///
+/// Each rejoiner's scramble seed derives deterministically from `rng` and
+/// its sorted position, so the run is a pure function of the inputs.
+pub fn crash_recover_network(
+    g: &LayeredGraph,
+    params: &Params,
+    env: &StaticEnvironment,
+    cfg: GridNodeConfig,
+    source_pulses: u64,
+    rejoins: &std::collections::HashMap<NodeId, LocalTime>,
+    rng: &mut Rng,
+) -> GridNetwork {
+    let mut seed_rng = rng.fork(0x7E70);
+    let mut sorted: Vec<NodeId> = rejoins.keys().copied().collect();
+    sorted.sort();
+    let seeds: std::collections::HashMap<NodeId, u64> = sorted
+        .into_iter()
+        .map(|n| (n, seed_rng.next_u64()))
+        .collect();
+    GridNetwork::build(g, params, env, cfg, source_pulses, rng, |id, wiring| {
+        let rejoin_at = *rejoins.get(&id)?;
+        if id.layer == 0 {
+            return None; // layer 0 runs Algorithm 2; campaigns target grid nodes
+        }
+        let inner = GradientTrixNode::new(
+            wiring.config,
+            wiring.own_pred,
+            wiring.neighbor_preds.clone(),
+        );
+        Some(Box::new(CrashRecoverDesNode::new(
+            inner, rejoin_at, seeds[&id],
+        )))
+    })
 }
 
 #[cfg(test)]
@@ -203,6 +321,94 @@ mod tests {
             skew.max_inter(),
             bound
         );
+    }
+
+    /// Crash–recover regression, extending the Thm 1.6 `H_min`/`H_max`
+    /// fix: a node that rejoins mid-run wakes with scrambled state —
+    /// across many scramble seeds this includes recorded reception
+    /// extremes that a genuine early pulse inverts — and the Algorithm 4
+    /// sanitization must absorb every one of them (no `correction()`
+    /// panic) while the node re-synchronizes into Λ-periodic pulsing.
+    #[test]
+    fn crash_recover_rejoins_with_sanitized_extremes_and_resyncs() {
+        let p = params();
+        let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(4), 4);
+        let lambda = p.lambda().as_f64();
+        for seed in 0..12u64 {
+            let mut rng = Rng::seed_from(seed);
+            let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+            let cfg = GridNodeConfig::standard(p, g.base().diameter());
+            let node = g.node(2, 2);
+            let rejoins: std::collections::HashMap<_, _> = [(node, LocalTime::from(6.0 * lambda))]
+                .into_iter()
+                .collect();
+            let mut net = crash_recover_network(&g, &p, &env, cfg, 30, &rejoins, &mut rng);
+            net.run(Time::from(40.0 * lambda));
+            let by_node = net.broadcasts_by_node();
+            let pulses = &by_node[net.index.engine_id(node)];
+            // Dead until rejoin…
+            assert!(
+                pulses.iter().all(|t| t.as_f64() >= 6.0 * lambda),
+                "seed {seed}: pulse before rejoin: {pulses:?}"
+            );
+            // …then re-synchronized: a healthy tail of Λ-periodic pulses.
+            assert!(
+                pulses.len() >= 8,
+                "seed {seed}: rejoined node stalled with {} pulses",
+                pulses.len()
+            );
+            let tail = &pulses[pulses.len() - 5..pulses.len() - 1];
+            for w in tail.windows(2) {
+                let gap = (w[1] - w[0]).as_f64();
+                assert!(
+                    (gap - lambda).abs() < 2.0 * p.kappa().as_f64(),
+                    "seed {seed}: rejoined node did not re-sync, gap {gap}"
+                );
+            }
+        }
+    }
+
+    /// The crash window is invisible to the rest of the grid's liveness:
+    /// every other node keeps pulsing through the outage and after the
+    /// rejoin (the node's successors ride their remaining predecessors,
+    /// exactly like a permanent silent fault — but here the hole heals).
+    #[test]
+    fn grid_rides_through_a_crash_recover_outage() {
+        let p = params();
+        let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(4), 4);
+        let lambda = p.lambda().as_f64();
+        let mut rng = Rng::seed_from(21);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let cfg = GridNodeConfig::standard(p, g.base().diameter());
+        let node = g.node(3, 1);
+        let rejoins: std::collections::HashMap<_, _> = [(node, LocalTime::from(8.0 * lambda))]
+            .into_iter()
+            .collect();
+        let mut net = crash_recover_network(&g, &p, &env, cfg, 30, &rejoins, &mut rng);
+        net.run(Time::from(40.0 * lambda));
+        let by_node = net.broadcasts_by_node();
+        for layer in 1..g.layer_count() {
+            for v in 0..g.width() {
+                let pos = g.node(v, layer);
+                if pos == node {
+                    continue;
+                }
+                let pulses = &by_node[net.index.engine_id(pos)];
+                assert!(
+                    pulses.len() >= 10,
+                    "node ({v},{layer}) stalled during the outage: {} pulses",
+                    pulses.len()
+                );
+                let tail = &pulses[pulses.len() - 6..pulses.len() - 1];
+                for w in tail.windows(2) {
+                    let gap = (w[1] - w[0]).as_f64();
+                    assert!(
+                        (gap - lambda).abs() < 2.0 * p.kappa().as_f64(),
+                        "node ({v},{layer}): gap {gap}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,11 +10,17 @@
 //!   executor;
 //! * [`FaultySendModel`] — plugs behaviors into
 //!   [`trix_sim::run_dataflow`];
+//! * [`FaultSchedule`] / [`FaultCampaign`] — **time-varying fault
+//!   campaigns**: crash–recover windows, flaky per-pulse gating, density
+//!   ramps, and moving one-local fault waves, composed from the same
+//!   behaviors and usable as a drop-in [`trix_sim::SendModel`] for both
+//!   dataflow drivers (serial and `--sim-threads`-sharded);
 //! * [`is_one_local`] / [`sample_iid`] / [`sample_one_local`] /
 //!   [`clustered_column`] — placements for Theorems 1.2 and 1.3;
-//! * [`SilentDesNode`] / [`BabblingDesNode`] / [`scrambled_network`] —
-//!   event-driven fault machinery for the self-stabilization experiments
-//!   (Theorem 1.6).
+//! * [`SilentDesNode`] / [`BabblingDesNode`] / [`CrashRecoverDesNode`] /
+//!   [`scrambled_network`] / [`crash_recover_network`] — event-driven
+//!   fault machinery for the self-stabilization experiments
+//!   (Theorem 1.6) and the DES half of crash–recover campaigns.
 //!
 //! # Examples
 //!
@@ -31,14 +37,18 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod behavior;
+mod campaign;
 mod des_nodes;
 mod placement;
 mod send_model;
 
 pub use behavior::FaultBehavior;
-pub use des_nodes::{scrambled_network, BabblingDesNode, SilentDesNode};
+pub use campaign::{FaultCampaign, FaultSchedule};
+pub use des_nodes::{
+    crash_recover_network, scrambled_network, BabblingDesNode, CrashRecoverDesNode, SilentDesNode,
+};
 pub use placement::{clustered_column, is_one_local, sample_iid, sample_one_local};
 pub use send_model::FaultySendModel;

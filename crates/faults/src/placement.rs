@@ -36,7 +36,15 @@ pub fn is_one_local(g: &LayeredGraph, faults: &HashSet<NodeId>) -> bool {
 ///
 /// With `min_layer = 1` this matches the Theorem 1.2/1.3 setting
 /// ("none in layer 0"; Appendix A argues layer-0 faults have probability
-/// `o(1)` anyway).
+/// `o(1)` anyway). `min_layer = 0` permits layer-0 faults — outside the
+/// theorems' setting, available for ablations — and a `min_layer` at or
+/// beyond the layer count yields the empty set (the RNG is still
+/// consulted once per eligible node, i.e. not at all, so downstream
+/// draws are unaffected).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
 pub fn sample_iid(g: &LayeredGraph, p: f64, min_layer: usize, rng: &mut Rng) -> HashSet<NodeId> {
     assert!((0.0..=1.0).contains(&p), "probability out of range");
     g.nodes()
@@ -44,13 +52,32 @@ pub fn sample_iid(g: &LayeredGraph, p: f64, min_layer: usize, rng: &mut Rng) -> 
         .collect()
 }
 
-/// Samples iid faults and greedily removes nodes until the set is 1-local
-/// (dropping the later-sampled member of each violating neighborhood).
+/// Samples iid faults and greedily removes nodes until the set is 1-local.
+///
+/// The thinning is **deterministic in the sampled set** (a `HashSet`
+/// retains no sampling order): neighborhoods are scanned layer-major,
+/// then by base column, each closed neighborhood listing the center node
+/// first and its base neighbors in ascending index — and the member
+/// dropped from the *first* violating neighborhood is the **last one in
+/// that scan order** (the highest-indexed involved neighbor), not the
+/// "most recently sampled" node. Re-running the thinning on the same set
+/// always removes the same nodes.
+///
+/// `min_layer` is enforced by the sampling step and preserved by the
+/// thinning (which only removes nodes), so the returned set never
+/// contains a node below `min_layer`; a `min_layer` at or beyond the
+/// layer count yields the empty set. On a degenerate one-wide graph
+/// (single-node base graph) every closed neighborhood is a singleton, so
+/// any sample is already 1-local and the drop count is always zero.
 ///
 /// Returns the thinned set and the number of dropped nodes. With
 /// `p ∈ o(n^{-1/2})` the expected number of drops is `o(1)`, so this
 /// conditioning matches the paper's "we assume this to be the case
 /// throughout our analysis".
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` (via [`sample_iid`]).
 pub fn sample_one_local(
     g: &LayeredGraph,
     p: f64,
@@ -98,10 +125,28 @@ pub fn sample_one_local(
 /// time the algorithm gets — spacing 1 is the harshest 1-local
 /// configuration).
 ///
+/// Edge cases, pinned by the unit tests below:
+///
+/// * **Any valid column works, including boundary columns.** 1-locality
+///   constrains *same-layer* closed neighborhoods only, and this
+///   placement puts at most one fault per layer — so it is 1-local for
+///   every `v < width`, including the replicated-end copies (columns
+///   `0`/`1` and the last two), which are adjacent to *each other* in
+///   the base graph. The `spacing ≥ 1` assert is what rules out two
+///   faults sharing a layer.
+/// * **`f = 0`** returns the empty set (vacuously 1-local) without
+///   touching the layer bound.
+/// * **`start_layer` may be 0**, placing a fault on layer 0 — outside
+///   the Theorem 1.2 setting ("none in layer 0"); callers reproducing
+///   the theorem pass `start_layer ≥ 1`.
+/// * **Degenerate one-wide grids** (single-node base graph) are
+///   accepted: column 0 is the only column and the stack is 1-local.
+///
 /// # Panics
 ///
-/// Panics if the placement exceeds the layer count or violates
-/// 1-locality (spacing 0).
+/// Panics if `v` is not a base-graph column (via [`LayeredGraph::node`]'s
+/// bounds check), if the placement exceeds the layer count, or if
+/// `spacing` is 0 (two faults on one layer would violate 1-locality).
 pub fn clustered_column(
     g: &LayeredGraph,
     v: usize,
@@ -207,5 +252,98 @@ mod tests {
     fn clustered_column_rejects_zero_spacing() {
         let g = grid();
         let _ = clustered_column(&g, 5, 2, 0, 2);
+    }
+
+    /// A one-wide grid: a single-node base graph, the degenerate end of
+    /// the placement APIs. Every closed neighborhood is a singleton, so
+    /// *any* fault set is 1-local, iid sampling never needs thinning,
+    /// and the clustered column (the only column) is accepted.
+    #[test]
+    fn degenerate_one_wide_grid() {
+        let g = LayeredGraph::new(BaseGraph::from_edges(1, &[]), 6);
+        assert_eq!(g.width(), 1);
+        // Saturate every layer: still 1-local.
+        let all: HashSet<_> = g.nodes().collect();
+        assert!(is_one_local(&g, &all));
+        // Dense sampling never drops a node.
+        let mut rng = Rng::seed_from(2);
+        let (faults, dropped) = sample_one_local(&g, 0.9, 1, &mut rng);
+        assert_eq!(dropped, 0);
+        assert!(faults.iter().all(|n| n.layer >= 1));
+        // The only column stacks fine.
+        let stack = clustered_column(&g, 0, 0, 1, 6);
+        assert_eq!(stack.len(), 6);
+        assert!(is_one_local(&g, &stack));
+    }
+
+    /// `min_layer` edge cases: the thinning preserves the sampling
+    /// invariant (it only removes nodes), `min_layer = 0` permits
+    /// layer-0 faults, and a `min_layer` beyond the grid yields the
+    /// empty set.
+    #[test]
+    fn min_layer_is_preserved_by_thinning_and_saturates() {
+        let g = grid();
+        for min_layer in [0usize, 1, 3] {
+            let mut rng = Rng::seed_from(9);
+            let (faults, _) = sample_one_local(&g, 0.3, min_layer, &mut rng);
+            assert!(
+                faults.iter().all(|n| n.layer as usize >= min_layer),
+                "min_layer {min_layer}"
+            );
+        }
+        let mut rng = Rng::seed_from(9);
+        assert!(sample_iid(&g, 0.9, g.layer_count(), &mut rng).is_empty());
+        let (faults, dropped) = sample_one_local(&g, 0.9, g.layer_count() + 5, &mut rng);
+        assert!(faults.is_empty());
+        assert_eq!(dropped, 0);
+    }
+
+    /// The thinning is a pure function of the sampled set — re-running
+    /// it on the same sample removes the same nodes (the documented
+    /// scan-order drop rule, not a "sampling order" that a `HashSet`
+    /// could not retain anyway).
+    #[test]
+    fn thinning_is_deterministic_in_the_sampled_set() {
+        let g = grid();
+        for seed in 0..8u64 {
+            let (a, da) = sample_one_local(&g, 0.25, 1, &mut Rng::seed_from(seed));
+            let (b, db) = sample_one_local(&g, 0.25, 1, &mut Rng::seed_from(seed));
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(da, db, "seed {seed}");
+        }
+    }
+
+    /// Boundary columns: same-column stacks are 1-local on *every*
+    /// column, including the replicated-end copies that are adjacent to
+    /// each other in the base graph — and mixing the two end copies on
+    /// the *same* layer is exactly what 1-locality forbids.
+    #[test]
+    fn clustered_column_accepts_boundary_columns() {
+        let g = grid();
+        for v in [0usize, 1, g.width() - 2, g.width() - 1] {
+            let faults = clustered_column(&g, v, 1, 1, 4);
+            assert!(is_one_local(&g, &faults), "column {v}");
+        }
+        // f = 0: empty, vacuously 1-local, no layer-bound interaction.
+        assert!(clustered_column(&g, 0, g.layer_count() + 7, 1, 0).is_empty());
+        // start_layer 0 is allowed (outside the Thm 1.2 setting).
+        assert!(clustered_column(&g, 3, 0, 2, 3).contains(&g.node(3, 0)));
+        // The two end copies on one layer violate 1-locality.
+        let ends: HashSet<_> = [g.node(0, 2), g.node(1, 2)].into_iter().collect();
+        assert!(!is_one_local(&g, &ends));
+    }
+
+    #[test]
+    #[should_panic(expected = "base node index out of range")]
+    fn clustered_column_rejects_out_of_range_columns() {
+        let g = grid();
+        let _ = clustered_column(&g, g.width(), 1, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "placement exceeds layer count")]
+    fn clustered_column_rejects_layer_overflow() {
+        let g = grid();
+        let _ = clustered_column(&g, 4, g.layer_count() - 1, 1, 2);
     }
 }

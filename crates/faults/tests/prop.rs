@@ -1,10 +1,90 @@
-//! Property tests for fault placement and behaviors.
+//! Property tests for fault placement, behaviors, and time-varying
+//! campaigns.
 
 use proptest::prelude::*;
-use trix_faults::{is_one_local, sample_one_local, FaultBehavior};
-use trix_sim::Rng;
-use trix_time::{Duration, Time};
+use trix_faults::{is_one_local, sample_one_local, FaultBehavior, FaultCampaign, FaultSchedule};
+use trix_sim::{
+    run_dataflow_observed, run_dataflow_parallel, Observer, OffsetLayer0, PulseRule, Rng,
+    StaticEnvironment,
+};
+use trix_time::{AffineClock, Duration, Time};
 use trix_topology::{BaseGraph, LayeredGraph, NodeId};
+
+/// Fires at `max(arrivals) + rate` (mirrors `crates/sim/tests/prop.rs`).
+struct MaxPlus;
+
+impl PulseRule for MaxPlus {
+    fn pulse_time(
+        &self,
+        _node: NodeId,
+        _k: usize,
+        own: Option<Time>,
+        neighbors: &[Option<Time>],
+        clock: &AffineClock,
+    ) -> Option<Time> {
+        let mut best: Option<Time> = own;
+        for &n in neighbors {
+            best = match (best, n) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        best.map(|t| t + Duration::from(clock.rate()))
+    }
+}
+
+/// Records the full observer event stream, `f64` bits and all.
+#[derive(Default, PartialEq, Debug)]
+struct EventLog {
+    faulty: Vec<NodeId>,
+    pulses: Vec<(usize, NodeId, u64)>,
+}
+
+impl Observer for EventLog {
+    fn on_faulty(&mut self, node: NodeId) {
+        self.faulty.push(node);
+    }
+    fn on_pulse(&mut self, k: usize, node: NodeId, t: Time) {
+        self.pulses.push((k, node, t.as_f64().to_bits()));
+    }
+}
+
+/// A random campaign: 1-local placement at the given density, each
+/// position given a schedule drawn from all four schedule kinds.
+fn random_campaign(g: &LayeredGraph, density: f64, pulses: usize, seed: u64) -> FaultCampaign {
+    let mut rng = Rng::seed_from(seed);
+    let (positions, _) = sample_one_local(g, density, 1, &mut rng);
+    let mut sorted: Vec<NodeId> = positions.into_iter().collect();
+    sorted.sort();
+    FaultCampaign::from_schedules(sorted.into_iter().enumerate().map(|(i, n)| {
+        let behavior = match i % 3 {
+            0 => FaultBehavior::Silent,
+            1 => FaultBehavior::Shift(Duration::from(3.0)),
+            _ => FaultBehavior::Jitter {
+                amplitude: Duration::from(2.0),
+                seed: seed ^ i as u64,
+            },
+        };
+        let schedule = match i % 4 {
+            0 => FaultSchedule::Always(behavior),
+            1 => FaultSchedule::Window {
+                from: i % pulses.max(1),
+                until: pulses,
+                behavior,
+            },
+            2 => FaultSchedule::CrashRecover {
+                down_from: i % pulses.max(1),
+                down_until: pulses,
+            },
+            _ => FaultSchedule::Flaky {
+                behavior,
+                activity: 0.5,
+                seed: seed.rotate_left(i as u32),
+            },
+        };
+        (n, schedule)
+    }))
+}
 
 proptest! {
     /// `sample_one_local` always returns 1-local sets, at any density.
@@ -58,6 +138,62 @@ proptest! {
         let first = b.send_time(node, 0, Some(Time::from(nominal)), target);
         for k in 1..10 {
             prop_assert_eq!(b.send_time(node, k, Some(Time::from(nominal)), target), first);
+        }
+    }
+
+    /// The campaign determinism contract at the engine level: a
+    /// time-varying campaign sharded across `--sim-threads` workers
+    /// replays the serial driver's event stream bit for bit — over
+    /// random densities, schedule mixes, topologies, and worker counts.
+    /// (The sweep-level twin lives in `tests/parallel_determinism.rs`;
+    /// the campaign gating runs inside `eval_layer_chunk`, shared by
+    /// both drivers, which is what this pins.)
+    #[test]
+    fn campaign_under_sim_threads_equals_serial(
+        seed in any::<u64>(),
+        width in 3usize..10,
+        layers in 2usize..7,
+        density in 0.0f64..0.35,
+        pulses in 1usize..4,
+        threads in 2usize..5,
+    ) {
+        let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(width), layers);
+        let campaign = random_campaign(&g, density, pulses, seed);
+        let mut env_rng = Rng::seed_from(seed ^ 0xE17);
+        let env = StaticEnvironment::random(
+            &g,
+            Duration::from(10.0),
+            Duration::from(1.0),
+            1.01,
+            &mut env_rng,
+        );
+        let layer0 = OffsetLayer0::synchronized(30.0, g.width());
+        let mut serial = EventLog::default();
+        run_dataflow_observed(&g, &env, &layer0, &MaxPlus, &campaign, pulses, &mut serial);
+        let mut sharded = EventLog::default();
+        run_dataflow_parallel(
+            &g, &env, &layer0, &MaxPlus, &campaign, pulses, threads, &mut sharded,
+        );
+        prop_assert_eq!(serial, sharded);
+    }
+
+    /// Campaign gating is a pure function of `(node, pulse)`: the active
+    /// set replays identically, and every ever-faulty node is excluded
+    /// (`is_faulty`) for the whole run regardless of when its schedule
+    /// is live.
+    #[test]
+    fn campaign_active_sets_replay(seed in any::<u64>(), density in 0.0f64..0.3) {
+        use trix_sim::SendModel;
+        let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(8), 6);
+        let pulses = 4;
+        let a = random_campaign(&g, density, pulses, seed);
+        let b = random_campaign(&g, density, pulses, seed);
+        prop_assert_eq!(a.faulty_nodes(), b.faulty_nodes());
+        for k in 0..pulses {
+            prop_assert_eq!(a.active_set(k), b.active_set(k));
+        }
+        for n in a.faulty_nodes() {
+            prop_assert!(a.is_faulty(n));
         }
     }
 

@@ -1,0 +1,346 @@
+//! Per-fault-class skew attribution over the streaming pulse feed.
+//!
+//! A fault campaign changes *where* skew lives, not just how large it
+//! gets: the gradient mechanism concentrates disturbance around faulty
+//! positions, and the interesting question for a density sweep is how
+//! much of the measured skew is **frontier** skew (pairs adjacent to a
+//! fault's blast radius) versus **healthy** skew (pairs with no faulty
+//! node anywhere near). [`FaultClassSkew`] partitions the intra-layer
+//! skew fold by that frontier and keeps one mergeable aggregate per
+//! class, with the same `O(nodes)` pulse-front state and partial-merge
+//! semantics as [`crate::StreamingSkew`].
+//!
+//! **Frontier definition.** A correct node is *frontier* iff a faulty
+//! position (as announced by [`Observer::on_faulty`]) is in its closed
+//! same-layer base neighborhood or among its grid predecessors — i.e. it
+//! either borders a fault on its own layer or consumes a faulty node's
+//! messages directly. An intra-layer pair is classified frontier if
+//! either endpoint is frontier, healthy otherwise; pairs with a faulty
+//! endpoint are excluded outright, exactly as in the paper's skew
+//! definitions.
+
+use crate::streaming::{Histogram, RunningStat};
+use trix_sim::Observer;
+use trix_time::Time;
+use trix_topology::{LayeredGraph, NodeId};
+
+/// Plain-data snapshot of a completed [`FaultClassSkew`] run: one
+/// max/mean/sample-count triple per fault class.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultClassStats {
+    /// Worst per-pulse intra-layer maximum over frontier pairs.
+    pub frontier_max: f64,
+    /// Mean of the per-pulse frontier maxima.
+    pub frontier_mean: f64,
+    /// Pulses that recorded at least one frontier pair.
+    pub frontier_pulses: u64,
+    /// Worst per-pulse intra-layer maximum over healthy pairs.
+    pub healthy_max: f64,
+    /// Mean of the per-pulse healthy maxima.
+    pub healthy_mean: f64,
+    /// Pulses that recorded at least one healthy pair.
+    pub healthy_pulses: u64,
+}
+
+impl FaultClassStats {
+    /// Folds another snapshot into this one (independent-run partials,
+    /// like [`crate::SkewStats::merge`]): maxima fold with `max`, sample
+    /// counts add, means combine sample-count-weighted.
+    pub fn merge(&mut self, other: &FaultClassStats) {
+        fn fold(max: &mut f64, mean: &mut f64, count: &mut u64, o_max: f64, o_mean: f64, o_n: u64) {
+            *max = max.max(o_max);
+            if *count + o_n > 0 {
+                *mean = (*mean * *count as f64 + o_mean * o_n as f64) / (*count + o_n) as f64;
+            }
+            *count += o_n;
+        }
+        fold(
+            &mut self.frontier_max,
+            &mut self.frontier_mean,
+            &mut self.frontier_pulses,
+            other.frontier_max,
+            other.frontier_mean,
+            other.frontier_pulses,
+        );
+        fold(
+            &mut self.healthy_max,
+            &mut self.healthy_mean,
+            &mut self.healthy_pulses,
+            other.healthy_max,
+            other.healthy_mean,
+            other.healthy_pulses,
+        );
+    }
+}
+
+/// Streaming intra-layer skew, partitioned by the faulty/healthy
+/// frontier.
+///
+/// Feed it to either dataflow driver (alone or tuple-composed with a
+/// [`crate::StreamingSkew`]), call [`FaultClassSkew::finish`], then read
+/// [`FaultClassSkew::snapshot`]. With no faults announced, every pair is
+/// healthy and the healthy aggregate equals the plain intra-layer fold.
+#[derive(Clone, Debug)]
+pub struct FaultClassSkew {
+    g: LayeredGraph,
+    faulty: Vec<bool>,
+    frontier: Vec<bool>,
+    /// Pulse `cur_k` front, filling in.
+    cur: Vec<Option<Time>>,
+    cur_k: usize,
+    started: bool,
+    finished: bool,
+    frontier_intra: RunningStat,
+    healthy_intra: RunningStat,
+}
+
+impl FaultClassSkew {
+    /// Creates a monitor for executions of `g` (16 unit-width histogram
+    /// bins, matching [`crate::StreamingSkew::DEFAULT_HIST_BINS`]).
+    pub fn new(g: &LayeredGraph) -> Self {
+        Self::with_histogram(g, 1.0, crate::StreamingSkew::DEFAULT_HIST_BINS)
+    }
+
+    /// Creates a monitor with an explicit histogram shape.
+    pub fn with_histogram(g: &LayeredGraph, bin_width: f64, bin_count: usize) -> Self {
+        let n = g.node_count();
+        let hist = Histogram::new(bin_width, bin_count);
+        Self {
+            g: g.clone(),
+            faulty: vec![false; n],
+            frontier: vec![false; n],
+            cur: vec![None; n],
+            cur_k: 0,
+            started: false,
+            finished: false,
+            frontier_intra: RunningStat::new(hist.clone()),
+            healthy_intra: RunningStat::new(hist),
+        }
+    }
+
+    #[inline]
+    fn index(&self, n: NodeId) -> usize {
+        n.layer as usize * self.g.width() + n.v as usize
+    }
+
+    /// Finalizes the in-progress pulse: per layer, folds every intra
+    /// edge's skew into its class's per-pulse maximum, then records.
+    fn advance(&mut self) {
+        let g = &self.g;
+        let w = g.width();
+        let mut frontier_max: Option<f64> = None;
+        let mut healthy_max: Option<f64> = None;
+        for layer in 0..g.layer_count() {
+            let row = layer * w;
+            for (a, b) in g.base().edges() {
+                let (ia, ib) = (row + a, row + b);
+                if self.faulty[ia] || self.faulty[ib] {
+                    continue;
+                }
+                let (Some(ta), Some(tb)) = (self.cur[ia], self.cur[ib]) else {
+                    continue;
+                };
+                let skew = (ta - tb).abs().as_f64();
+                let slot = if self.frontier[ia] || self.frontier[ib] {
+                    &mut frontier_max
+                } else {
+                    &mut healthy_max
+                };
+                *slot = Some(slot.map_or(skew, |m| m.max(skew)));
+            }
+        }
+        if let Some(s) = frontier_max {
+            self.frontier_intra.record(s);
+        }
+        if let Some(s) = healthy_max {
+            self.healthy_intra.record(s);
+        }
+        self.cur.fill(None);
+        self.cur_k += 1;
+    }
+
+    /// Finalizes the last pulse; idempotent. Must run before
+    /// [`FaultClassSkew::snapshot`].
+    pub fn finish(&mut self) {
+        if !self.finished {
+            if self.started {
+                self.advance();
+            }
+            self.finished = true;
+        }
+    }
+
+    /// Running aggregate of the per-pulse frontier maxima.
+    pub fn frontier(&self) -> &RunningStat {
+        &self.frontier_intra
+    }
+
+    /// Running aggregate of the per-pulse healthy maxima.
+    pub fn healthy(&self) -> &RunningStat {
+        &self.healthy_intra
+    }
+
+    /// Folds another **finished** monitor's aggregates into this one
+    /// (independent-run partials; same contract as
+    /// [`crate::StreamingSkew::merge`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either monitor is unfinished, or if the graph or
+    /// histogram shapes differ.
+    pub fn merge(&mut self, other: &FaultClassSkew) {
+        assert!(
+            self.finished && other.finished,
+            "merge requires both monitors to be finished"
+        );
+        assert_eq!(
+            (self.g.width(), self.g.layer_count()),
+            (other.g.width(), other.g.layer_count()),
+            "graph shapes differ"
+        );
+        self.frontier_intra.merge(&other.frontier_intra);
+        self.healthy_intra.merge(&other.healthy_intra);
+    }
+
+    /// Plain-data snapshot of the completed run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`FaultClassSkew::finish`] has not been called.
+    pub fn snapshot(&self) -> FaultClassStats {
+        assert!(
+            self.finished,
+            "call FaultClassSkew::finish() before snapshot()"
+        );
+        FaultClassStats {
+            frontier_max: self.frontier_intra.max(),
+            frontier_mean: self.frontier_intra.mean(),
+            frontier_pulses: self.frontier_intra.count(),
+            healthy_max: self.healthy_intra.max(),
+            healthy_mean: self.healthy_intra.mean(),
+            healthy_pulses: self.healthy_intra.count(),
+        }
+    }
+}
+
+impl Observer for FaultClassSkew {
+    fn on_faulty(&mut self, node: NodeId) {
+        let i = self.index(node);
+        self.faulty[i] = true;
+        self.frontier[i] = true;
+        let (v, layer) = (node.v as usize, node.layer as usize);
+        let w = self.g.width();
+        // Same-layer base neighbors border the fault.
+        for &u in self.g.base().neighbors(v) {
+            self.frontier[layer * w + u] = true;
+        }
+        // Grid successors consume its messages directly.
+        if layer + 1 < self.g.layer_count() {
+            self.frontier[(layer + 1) * w + v] = true;
+            for &u in self.g.base().neighbors(v) {
+                self.frontier[(layer + 1) * w + u] = true;
+            }
+        }
+    }
+
+    fn on_pulse(&mut self, k: usize, node: NodeId, t: Time) {
+        debug_assert!(!self.finished, "pulse after finish()");
+        debug_assert!(k >= self.cur_k, "pulse emissions must be pulse-major");
+        while k > self.cur_k {
+            self.advance();
+        }
+        let i = self.index(node);
+        self.cur[i] = Some(t);
+        self.started = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trix_topology::BaseGraph;
+
+    fn grid() -> LayeredGraph {
+        LayeredGraph::new(BaseGraph::line_with_replicated_ends(6), 4)
+    }
+
+    /// Synthetic feed: node (4, 2) is faulty; its lateral neighbors and
+    /// successors are perturbed by 5, everything else is flat. All of the
+    /// perturbation must land in the frontier class.
+    #[test]
+    fn perturbation_near_the_fault_is_attributed_to_the_frontier() {
+        let g = grid();
+        let mut m = FaultClassSkew::new(&g);
+        let bad = g.node(4, 2);
+        m.on_faulty(bad);
+        for k in 0..2usize {
+            for n in g.nodes() {
+                let near_fault = (n.layer == 2 || n.layer == 3)
+                    && (n.v == 4 || g.base().neighbors(4).contains(&(n.v as usize)));
+                let t = if n == bad {
+                    1e9 // excluded outright
+                } else if near_fault {
+                    5.0
+                } else {
+                    0.0
+                };
+                m.on_pulse(k, n, Time::from(t));
+            }
+        }
+        m.finish();
+        let s = m.snapshot();
+        assert_eq!(s.frontier_max, 5.0);
+        assert_eq!(s.healthy_max, 0.0);
+        assert_eq!(s.frontier_pulses, 2);
+        assert_eq!(s.healthy_pulses, 2);
+    }
+
+    #[test]
+    fn without_faults_everything_is_healthy() {
+        let g = grid();
+        let mut m = FaultClassSkew::new(&g);
+        for n in g.nodes() {
+            m.on_pulse(0, n, Time::from(n.v as f64));
+        }
+        m.finish();
+        let s = m.snapshot();
+        assert_eq!(s.frontier_pulses, 0);
+        assert_eq!(s.frontier_max, 0.0);
+        assert!(s.healthy_max > 0.0);
+        assert_eq!(s.healthy_pulses, 1);
+    }
+
+    #[test]
+    fn partials_merge_like_snapshots() {
+        let g = grid();
+        let run = |scale: f64| {
+            let mut m = FaultClassSkew::new(&g);
+            m.on_faulty(g.node(0, 1));
+            for k in 0..3usize {
+                for n in g.nodes() {
+                    m.on_pulse(k, n, Time::from(n.v as f64 * scale + k as f64));
+                }
+            }
+            m.finish();
+            m
+        };
+        let (a, b) = (run(1.0), run(2.0));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        let from_monitors = merged.snapshot();
+        assert_eq!(snap.frontier_max, from_monitors.frontier_max);
+        assert_eq!(snap.healthy_max, from_monitors.healthy_max);
+        assert_eq!(snap.frontier_pulses, from_monitors.frontier_pulses);
+        assert_eq!(snap.healthy_pulses, from_monitors.healthy_pulses);
+        assert!((snap.healthy_mean - from_monitors.healthy_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish()")]
+    fn snapshot_requires_finish() {
+        let g = grid();
+        let _ = FaultClassSkew::new(&g).snapshot();
+    }
+}

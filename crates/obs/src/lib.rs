@@ -23,6 +23,10 @@
 //!   violations in runs too large (or too long) to trace.
 //! * [`FullTrace`] — the compatibility adapter reconstructing the classic
 //!   `PulseTrace`, so trace-based experiments ride the same driver.
+//! * [`FaultClassSkew`] — intra-layer skew partitioned by the
+//!   faulty/healthy frontier, the attribution monitor for fault
+//!   campaigns (`trix-faults`): how much skew lives next to the faults
+//!   versus far from them.
 //!
 //! Observers compose with the tuple observer from `trix-sim` (e.g.
 //! `(StreamingSkew, TraceRing)`), and everything is deterministic: the
@@ -65,16 +69,41 @@
 //! assert_eq!(skew.max_intra_layer_skew(), Duration::from(3.0));
 //! assert_eq!(skew.pulses(), 2);
 //! ```
+//!
+//! Observers compose as tuples — one driver pass feeds any number of
+//! monitors, each seeing the identical event stream:
+//!
+//! ```
+//! use trix_obs::{Observer, StreamingSkew, TraceRing};
+//! use trix_time::Time;
+//! use trix_topology::{BaseGraph, LayeredGraph, NodeId};
+//!
+//! let g = LayeredGraph::new(BaseGraph::cycle(4), 2);
+//! let mut skew = StreamingSkew::new(&g);
+//! let mut ring = TraceRing::new(8);
+//! {
+//!     // The tuple observer fans every event out to both members.
+//!     let mut both = (&mut skew, &mut ring);
+//!     for n in g.nodes() {
+//!         both.on_pulse(0, n, Time::from(n.v as f64));
+//!     }
+//! }
+//! skew.finish();
+//! assert_eq!(skew.pulses(), 1);
+//! assert_eq!(ring.total_recorded(), g.node_count() as u64);
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+mod attributed;
 pub mod defs;
 mod des_monitor;
 mod full;
 mod ring;
 mod streaming;
 
+pub use attributed::{FaultClassSkew, FaultClassStats};
 pub use des_monitor::DesSkew;
 pub use full::FullTrace;
 pub use ring::{TraceEvent, TraceRing};

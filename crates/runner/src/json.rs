@@ -24,7 +24,13 @@ use std::fmt::Write as _;
 ///   (additive; like `wall_secs` it describes *how* the run executed,
 ///   not *what* it computed, so [`BenchReport::canonicalized`] zeroes
 ///   it for byte-identity comparisons across thread counts).
-pub const BENCH_SCHEMA_VERSION: u32 = 3;
+/// * **4** — added the per-record `campaign` field: the fault-campaign
+///   descriptor the scenario declared (`null` when the scenario declared
+///   none — note campaign experiments stamp *every* point, including
+///   fault-free controls and static placements, so `null` means
+///   "outside the campaign harness", not "no faults"). Part of *what*
+///   the scenario computed, so canonicalization keeps it.
+pub const BENCH_SCHEMA_VERSION: u32 = 4;
 
 /// Streaming skew statistics of one scenario, produced by an online
 /// observer (`trix_obs::StreamingSkew`) during the run — the `skew`
@@ -145,6 +151,14 @@ pub struct BenchRecord {
     /// Streaming skew statistics, when the scenario ran with an online
     /// skew observer (schema v2).
     pub skew: Option<SkewSummary>,
+    /// Fault-campaign descriptor the scenario declared (schema v4).
+    /// `None` means the scenario declared no campaign — campaign
+    /// experiments stamp every point, including their fault-free
+    /// controls and static placements, so `None` identifies scenarios
+    /// outside the campaign harness rather than fault-free workloads.
+    /// Unlike `sim_threads`, this describes the *workload*, so it
+    /// survives [`BenchReport::canonicalized`].
+    pub campaign: Option<String>,
     /// Wall-clock seconds the scenario took (volatile; excluded from
     /// determinism comparisons).
     pub wall_secs: f64,
@@ -264,6 +278,12 @@ impl BenchRecord {
             }
             None => out.push_str(", \"skew\": null"),
         }
+        match &self.campaign {
+            Some(c) => {
+                let _ = write!(out, ", \"campaign\": \"{}\"", json_escape(c));
+            }
+            None => out.push_str(", \"campaign\": null"),
+        }
         let _ = write!(out, ", \"wall_secs\": {}", fmt_json_f64(self.wall_secs));
         out.push('}');
     }
@@ -322,6 +342,7 @@ mod tests {
                 fingerprint: 0xDEAD_BEEF,
                 values: ValueStats::of([1.0, 3.0]),
                 skew: None,
+                campaign: None,
                 wall_secs: 0.25,
             }],
         }
@@ -330,7 +351,7 @@ mod tests {
     #[test]
     fn json_contains_versioned_schema_and_fields() {
         let j = sample().to_json();
-        assert!(j.contains("\"schema_version\": 3"));
+        assert!(j.contains("\"schema_version\": 4"));
         assert!(j.contains("\"experiment\": \"thm11\""));
         assert!(j.contains("\"params\": {\"width\": \"8\"}"));
         assert!(j.contains("\"seeds\": [1, 2]"));
@@ -339,7 +360,21 @@ mod tests {
         assert!(j.contains("\"fingerprint\": \"0x00000000deadbeef\""));
         assert!(j.contains("\"values\": {\"min\": 1, \"max\": 3, \"mean\": 2, \"count\": 2}"));
         assert!(j.contains("\"skew\": null"));
+        assert!(j.contains("\"campaign\": null"));
         assert!(j.contains("\"wall_secs\": 0.25"));
+    }
+
+    /// Schema v4: the campaign descriptor serializes (escaped) and
+    /// survives canonicalization — it describes the workload, not the
+    /// execution.
+    #[test]
+    fn campaign_descriptor_serializes_and_survives_canonicalization() {
+        let mut r = sample();
+        r.records[0].campaign = Some("iid p=0.01 \"flaky\"".into());
+        let j = r.to_json();
+        assert!(j.contains("\"campaign\": \"iid p=0.01 \\\"flaky\\\"\""));
+        let c = r.canonicalized();
+        assert_eq!(c.records[0].campaign, r.records[0].campaign);
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! experiments.
 
 use gradient_trix::core::{GradientTrixRule, GridNetwork, GridNodeConfig, Layer0Line, Params};
-use gradient_trix::faults::{FaultBehavior, FaultySendModel};
+use gradient_trix::faults::{
+    crash_recover_network, FaultBehavior, FaultCampaign, FaultSchedule, FaultySendModel,
+};
 use gradient_trix::sim::{run_dataflow, Rng, StaticEnvironment};
-use gradient_trix::time::{Duration, Time};
+use gradient_trix::time::{Duration, LocalTime, Time};
 use gradient_trix::topology::{BaseGraph, LayeredGraph};
 
 fn params() -> Params {
@@ -144,6 +146,85 @@ fn seeded_scenario_traces_are_bit_identical() {
         fingerprint(),
         fingerprint(),
         "seeded scenario produced diverging traces"
+    );
+}
+
+/// The campaign extension of the regression above: a **time-varying**
+/// adversary — flaky gating, a crash–recover window, a behavior change —
+/// on the dataflow engine, plus a mid-run DES rejoin with scrambled
+/// state, must also fingerprint bit-identically across runs. Pins that
+/// campaign gating (counter-based hashing) and rejoin scrambling
+/// (forked streams) never consume nondeterministic state.
+#[test]
+fn seeded_campaign_traces_are_bit_identical() {
+    let p = params();
+    let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(9), 9);
+    let campaign = FaultCampaign::from_schedules([
+        (
+            g.node(2, 1),
+            FaultSchedule::Flaky {
+                behavior: FaultBehavior::Shift(p.kappa() * 8.0),
+                activity: 0.5,
+                seed: 0xF1A2,
+            },
+        ),
+        (
+            g.node(6, 4),
+            FaultSchedule::CrashRecover {
+                down_from: 1,
+                down_until: 3,
+            },
+        ),
+        (
+            g.node(4, 7),
+            FaultSchedule::Window {
+                from: 2,
+                until: 4,
+                behavior: FaultBehavior::Jitter {
+                    amplitude: p.kappa() * 3.0,
+                    seed: 7,
+                },
+            },
+        ),
+    ]);
+    let fingerprint = || {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+
+        // Dataflow engine under the campaign.
+        let mut rng = Rng::seed_from(0xCA3B_A167);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let layer0 = Layer0Line::random_for_line(&p, g.width(), &mut rng);
+        let trace = run_dataflow(&g, &env, &layer0, &GradientTrixRule::new(p), &campaign, 4);
+        for k in 0..4 {
+            for n in g.nodes() {
+                match trace.time(k, n) {
+                    Some(t) => mix(&mut h, t.as_f64().to_bits()),
+                    None => mix(&mut h, u64::MAX),
+                }
+            }
+        }
+
+        // DES engine with a crash–recover rejoin (scrambled reboot).
+        let small = LayeredGraph::new(BaseGraph::line_with_replicated_ends(4), 4);
+        let mut rng = Rng::seed_from(0xCA3B_A167);
+        let env = StaticEnvironment::random(&small, p.d(), p.u(), p.theta(), &mut rng);
+        let cfg = GridNodeConfig::standard(p, small.base().diameter());
+        let rejoins: std::collections::HashMap<_, _> =
+            [(small.node(2, 2), LocalTime::from(5.0 * p.lambda().as_f64()))]
+                .into_iter()
+                .collect();
+        let mut net = crash_recover_network(&small, &p, &env, cfg, 12, &rejoins, &mut rng);
+        net.run(Time::from(1e9));
+        for b in net.des.broadcasts() {
+            mix(&mut h, b.node as u64);
+            mix(&mut h, b.time.as_f64().to_bits());
+        }
+        h
+    };
+    assert_eq!(
+        fingerprint(),
+        fingerprint(),
+        "seeded campaign produced diverging traces"
     );
 }
 

@@ -46,6 +46,9 @@ fn sweep_fingerprint_sim(
         h.write_u64(record.rows as u64);
         h.write_u64(record.events);
         h.write_u64(record.fingerprint);
+        // Schema v4: the campaign descriptor is part of what the
+        // scenario computed.
+        h.write_str(record.campaign.as_deref().unwrap_or(""));
     }
     h.finish()
 }

@@ -12,20 +12,22 @@
 use gradient_trix::analysis::{global_skew, inter_layer_skew, intra_layer_skew};
 use gradient_trix::core::GradientTrixRule;
 use gradient_trix::obs::SkewStats;
-use gradient_trix::sim::CorrectSends;
+use gradient_trix::sim::{CorrectSends, SendModel};
 use gradient_trix::topology::LayeredGraph;
 use trix_bench::common::{
     grid, merge_snapshots, run_gradient_trix, standard_params, streaming_monitor,
 };
-use trix_bench::{run_suite, Scale, TraceMode};
+use trix_bench::{exp_fault_sweep, run_suite, Scale, TraceMode};
 use trix_runner::BenchRecord;
 
 /// Batch recomputation of a [`SkewStats`] snapshot from a full trace,
-/// folding in the same pulse order as the streaming monitor.
-fn post_hoc_stats(g: &LayeredGraph, pulses: usize, seed: u64) -> SkewStats {
+/// folding in the same pulse order as the streaming monitor. `sends` is
+/// `CorrectSends` for the fault-free suite and the reconstructed
+/// [`trix_faults::FaultCampaign`] for `exp_fault_sweep` records.
+fn post_hoc_stats(g: &LayeredGraph, pulses: usize, seed: u64, sends: &impl SendModel) -> SkewStats {
     let p = standard_params();
     let rule = GradientTrixRule::new(p);
-    let (trace, _) = run_gradient_trix(g, &p, &rule, &CorrectSends, pulses, seed);
+    let (trace, _) = run_gradient_trix(g, &p, &rule, sends, pulses, seed);
     // The suite's standard monitor shape (κ/2 bins): recompute the
     // histogram the same way the observer bins per-pulse maxima.
     let reference = streaming_monitor(g, &p);
@@ -113,13 +115,27 @@ fn suite_streaming_stats_equal_post_hoc_for_any_thread_count() {
             .as_ref()
             .unwrap_or_else(|| panic!("{}/{}: no skew stats", record.experiment, record.scenario));
         let width = param(record, "width").expect("width param");
-        let layers = param(record, "layers").unwrap_or(width); // exp_scale: square
+        let layers = param(record, "layers").unwrap_or(width); // exp_scale & fault sweep: square
         let pulses = param(record, "pulses").expect("pulses param");
         let g = grid(width, layers);
         let snaps: Vec<SkewStats> = record
             .seeds
             .iter()
-            .map(|&seed| post_hoc_stats(&g, pulses, seed))
+            .map(|&seed| {
+                if record.experiment == "exp_fault_sweep" {
+                    // Campaign scenarios (schema v4 stamps the
+                    // descriptor): reconstruct the identical adversary
+                    // from the record's params and replay the faulty run
+                    // through the trace-backed path.
+                    assert!(record.campaign.is_some(), "campaign records are stamped");
+                    let point = exp_fault_sweep::point_from_params(&record.params)
+                        .expect("sweep point from params");
+                    let campaign = exp_fault_sweep::campaign_for(&g, &point, seed);
+                    post_hoc_stats(&g, pulses, seed, &campaign)
+                } else {
+                    post_hoc_stats(&g, pulses, seed, &CorrectSends)
+                }
+            })
             .collect();
         let expected = merge_snapshots(&snaps);
         assert_eq!(
@@ -131,18 +147,27 @@ fn suite_streaming_stats_equal_post_hoc_for_any_thread_count() {
 }
 
 /// The new schema round-trips through disk: the written
-/// `BENCH_exp_scale.json` re-reads byte-identically and carries the v3
+/// `BENCH_exp_scale.json` re-reads byte-identically and carries the v4
 /// version tag, the `sim_threads` execution metadata, and the streamed
 /// statistics.
 #[test]
-fn exp_scale_record_round_trips_schema_v3() {
+fn exp_scale_record_round_trips_schema_v4() {
     let outcome = run_suite(Scale::Smoke, 7, 2, TraceMode::NoTrace, 2);
     let report = outcome.report.filtered("exp_scale");
     assert!(!report.records.is_empty());
     let json = report.to_json();
-    assert!(json.contains("\"schema_version\": 3"));
+    assert!(json.contains("\"schema_version\": 4"));
     assert!(json.contains("\"sim_threads\": 2"));
     assert!(json.contains("\"skew\": {\"max_intra\":"));
+    // exp_scale runs no campaign; records truthfully carry null.
+    assert!(json.contains("\"campaign\": null"));
+    // The fault sweep's records are stamped with their descriptors.
+    let sweep = outcome.report.filtered("exp_fault_sweep");
+    assert!(!sweep.records.is_empty());
+    assert!(sweep.records.iter().all(|r| r.campaign.is_some()));
+    assert!(sweep
+        .to_json()
+        .contains("\"campaign\": \"iid c=1.00 silent w=12\""));
     let path = std::env::temp_dir().join("BENCH_exp_scale_roundtrip.json");
     std::fs::write(&path, &json).expect("write");
     let back = std::fs::read_to_string(&path).expect("read");
