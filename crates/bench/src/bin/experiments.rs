@@ -13,16 +13,19 @@
 //!
 //! * `--quick` runs reduced sizes (seconds instead of minutes); `--smoke`
 //!   runs tiny sizes for the CI gate (a second or two).
-//! * `--threads N` shards scenarios over `N` OS threads (`0` = one per
-//!   CPU; default `0`). Results are bit-identical for every `N`.
-//! * `--sim-threads M` shards each streaming scenario's dataflow layers
-//!   over `M` workers *inside* the scenario
-//!   (`trix_sim::run_dataflow_parallel`; `0` = one per CPU, default `1`).
+//! * `--threads N` shards scenarios over `N` OS threads (`0` = auto;
+//!   default `0`). Results are bit-identical for every `N`.
+//! * `--sim-threads M` shards each streaming scenario's dataflow width
+//!   over `M` frontier workers *inside* the scenario
+//!   (`trix_sim::run_dataflow_parallel`; `0` = auto, default `1`).
 //!   Like `--threads`, it never changes results — only wall time — and
-//!   is recorded in every benchmark record (schema v3). Auto-size one
-//!   level, not both: `--threads 0 --sim-threads 0` multiplies into
-//!   CPU² threads (every concurrently running scenario spawns a full
-//!   complement of dataflow workers).
+//!   is recorded in every benchmark record (schema v3). The `0` knobs
+//!   are resolved **jointly** through
+//!   `trix_runner::resolve_thread_split`: detected CPUs are divided
+//!   between the two levels, so `--threads 0 --sim-threads 0` runs one
+//!   scenario worker per CPU with serial dataflow — never the historic
+//!   CPU² oversubscription. If CPU detection fails, both auto knobs
+//!   fall back to 1 worker and a warning names the fallback.
 //! * `--seed S` sets the base seed all per-scenario seeds derive from.
 //! * `--json PATH` writes the versioned benchmark report (one record per
 //!   scenario: params, seeds, event counts, value stats, fingerprint,
@@ -150,8 +153,21 @@ fn main() -> ExitCode {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
 
+    // Resolve both auto thread knobs against the CPU count **once**, and
+    // surface a detection failure instead of silently degrading to the
+    // fallback (satisfying the schema-v5 parallelism stamp's contract).
+    let detected = trix_sim::detected_parallelism();
+    if detected.detection_failed {
+        eprintln!(
+            "warning: CPU detection failed; auto thread knobs fall back to {} worker(s) \
+             (see trix_sim::FALLBACK_WORKERS; the benchmark JSON records this)",
+            detected.workers
+        );
+    }
+    let (threads, sim_threads) = trix_runner::resolve_thread_split(args.threads, args.sim_threads);
+
     let start = std::time::Instant::now();
-    let mut scenarios = all_scenarios(args.scale, args.seed, args.mode, args.sim_threads);
+    let mut scenarios = all_scenarios(args.scale, args.seed, args.mode, sim_threads);
     if let Some(only) = &args.only {
         scenarios.retain(|s| s.experiment() == only);
         if scenarios.is_empty() {
@@ -159,7 +175,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    let outcome = suite::run_scenarios(scenarios, args.scale, args.seed, args.threads);
+    let outcome = suite::run_scenarios(scenarios, args.scale, args.seed, threads);
     let report = if args.canonical {
         outcome.report.canonicalized()
     } else {

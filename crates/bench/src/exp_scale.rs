@@ -8,7 +8,7 @@
 //! where materializing the `O(nodes × pulses)` trajectory would dominate
 //! memory.
 //!
-//! *Workload:* square grids up to width 1280 (1.6M nodes), random
+//! *Workload:* square grids up to width 3200 (10.2M nodes), random
 //! in-model environments, streaming skew statistics only. This
 //! experiment never materializes a trace in either trace mode — it *is*
 //! the `--no-trace` flagship — and also carries a bounded
@@ -29,13 +29,16 @@ use trix_obs::TraceRing;
 /// Pulse events retained for oracle post-mortems.
 const RING_CAPACITY: usize = 256;
 
-/// Grid widths per scale: the full-scale sweep tops out at 10× the
-/// widest full-trace experiment (`thm11` at width 128).
+/// Grid widths per scale: the full-scale sweep tops out at 25× the
+/// widest full-trace experiment (`thm11` at width 128) — width 3200 is
+/// a 10.2M-node grid, feasible only because the frontier engine and the
+/// streaming monitor together keep the working set at
+/// `O(width × workers)`.
 pub fn widths(scale: Scale) -> &'static [usize] {
     match scale {
         Scale::Smoke => &[16, 40],
         Scale::Quick => &[64, 160],
-        Scale::Full => &[256, 640, 1280],
+        Scale::Full => &[256, 640, 1280, 3200],
     }
 }
 

@@ -207,10 +207,15 @@ pub fn all_scenarios(
     scenarios
 }
 
-/// Runs the full suite sharded over `threads` OS threads (0 = one per
-/// CPU), with `sim_threads` dataflow workers *inside* each streaming
-/// scenario, and returns tables, benchmark records, and oracle
-/// violations.
+/// Runs the full suite sharded over `threads` OS threads, with
+/// `sim_threads` dataflow workers *inside* each streaming scenario, and
+/// returns tables, benchmark records, and oracle violations.
+///
+/// `0` means "auto" on either knob; the pair is resolved **once** here
+/// through [`trix_runner::resolve_thread_split`], which divides the
+/// detected CPUs between the two levels — a doubly-auto call gets
+/// `(cores, 1)`, never the historic `cores × cores` oversubscription.
+/// Explicit values pass through untouched.
 ///
 /// Bit-for-bit deterministic: everything except per-record wall times
 /// (and the recorded `sim_threads` metadata) is identical for every
@@ -223,6 +228,7 @@ pub fn run_suite(
     mode: TraceMode,
     sim_threads: usize,
 ) -> SuiteOutcome {
+    let (threads, sim_threads) = trix_runner::resolve_thread_split(threads, sim_threads);
     suite::run_scenarios(
         all_scenarios(scale, base_seed, mode, sim_threads),
         scale,

@@ -21,7 +21,9 @@
 use crate::Scale;
 use std::time::Instant;
 use trix_analysis::Table;
-use trix_runner::{BenchRecord, BenchReport, Fnv, SkewSummary, SweepRunner, ValueStats};
+use trix_runner::{
+    BenchRecord, BenchReport, Fnv, ParallelismStamp, SkewSummary, SweepRunner, ValueStats,
+};
 
 /// What one scenario job produces.
 #[derive(Debug)]
@@ -269,6 +271,7 @@ pub fn run_scenarios(
             suite: "gradient-trix-experiments".to_owned(),
             scale: scale.name().to_owned(),
             base_seed,
+            parallelism: ParallelismStamp::current(),
             records,
         },
         violations,

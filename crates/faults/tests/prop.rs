@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use trix_faults::{is_one_local, sample_one_local, FaultBehavior, FaultCampaign, FaultSchedule};
 use trix_sim::{
-    run_dataflow_observed, run_dataflow_parallel, Observer, OffsetLayer0, PulseRule, Rng,
-    StaticEnvironment,
+    run_dataflow_barrier, run_dataflow_observed, run_dataflow_parallel, Environment, Observer,
+    OffsetLayer0, PulseRule, Rng, SequenceEnvironment, StaticEnvironment,
 };
 use trix_time::{AffineClock, Duration, Time};
 use trix_topology::{BaseGraph, LayeredGraph, NodeId};
@@ -144,10 +144,13 @@ proptest! {
     /// The campaign determinism contract at the engine level: a
     /// time-varying campaign sharded across `--sim-threads` workers
     /// replays the serial driver's event stream bit for bit — over
-    /// random densities, schedule mixes, topologies, and worker counts.
-    /// (The sweep-level twin lives in `tests/parallel_determinism.rs`;
-    /// the campaign gating runs inside `eval_layer_chunk`, shared by
-    /// both drivers, which is what this pins.)
+    /// random densities, schedule mixes, topologies, worker counts, and
+    /// both static and per-pulse environments — through **both** sharded
+    /// engines (the frontier scheduler behind `run_dataflow_parallel`
+    /// and the legacy barrier baseline). (The sweep-level twin lives in
+    /// `tests/parallel_determinism.rs`; the campaign gating runs inside
+    /// `eval_layer_chunk`, shared by all drivers, which is what this
+    /// pins.)
     #[test]
     fn campaign_under_sim_threads_equals_serial(
         seed in any::<u64>(),
@@ -156,25 +159,58 @@ proptest! {
         density in 0.0f64..0.35,
         pulses in 1usize..4,
         threads in 2usize..5,
+        per_pulse in any::<bool>(),
     ) {
         let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(width), layers);
         let campaign = random_campaign(&g, density, pulses, seed);
         let mut env_rng = Rng::seed_from(seed ^ 0xE17);
-        let env = StaticEnvironment::random(
+        let static_env = StaticEnvironment::random(
             &g,
             Duration::from(10.0),
             Duration::from(1.0),
             1.01,
             &mut env_rng,
         );
+        // `per_pulse` drives the engines through a pulse-varying
+        // environment, disabling the pulse-invariant clock fast path.
+        let seq_env = SequenceEnvironment::new(vec![
+            static_env.clone(),
+            StaticEnvironment::random(
+                &g,
+                Duration::from(10.0),
+                Duration::from(1.0),
+                1.01,
+                &mut env_rng,
+            ),
+        ]);
         let layer0 = OffsetLayer0::synchronized(30.0, g.width());
-        let mut serial = EventLog::default();
-        run_dataflow_observed(&g, &env, &layer0, &MaxPlus, &campaign, pulses, &mut serial);
-        let mut sharded = EventLog::default();
-        run_dataflow_parallel(
-            &g, &env, &layer0, &MaxPlus, &campaign, pulses, threads, &mut sharded,
-        );
-        prop_assert_eq!(serial, sharded);
+        fn check(
+            g: &LayeredGraph,
+            env: &(impl Environment + Sync),
+            layer0: &OffsetLayer0,
+            campaign: &FaultCampaign,
+            pulses: usize,
+            threads: usize,
+        ) -> Result<(), TestCaseError> {
+            let mut serial = EventLog::default();
+            run_dataflow_observed(g, env, layer0, &MaxPlus, campaign, pulses, &mut serial);
+            let mut frontier = EventLog::default();
+            run_dataflow_parallel(
+                g, env, layer0, &MaxPlus, campaign, pulses, threads, &mut frontier,
+            );
+            let mut barrier = EventLog::default();
+            run_dataflow_barrier(
+                g, env, layer0, &MaxPlus, campaign, pulses, threads, &mut barrier,
+            );
+            prop_assert_eq!(&serial, &frontier);
+            prop_assert_eq!(&serial, &barrier);
+            Ok(())
+        }
+        if per_pulse {
+            check(&g, &seq_env, &layer0, &campaign, pulses, threads)?;
+        } else {
+            check(&g, &static_env, &layer0, &campaign, pulses, threads)?;
+        }
     }
 
     /// Campaign gating is a pure function of `(node, pulse)`: the active

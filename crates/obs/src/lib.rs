@@ -31,7 +31,12 @@
 //! Observers compose with the tuple observer from `trix-sim` (e.g.
 //! `(StreamingSkew, TraceRing)`), and everything is deterministic: the
 //! sweep runner's bit-reproducibility across `--threads` extends to all
-//! streamed statistics.
+//! streamed statistics. None of these monitors needs to be thread-safe:
+//! every dataflow engine — including the barrier-free frontier
+//! scheduler behind `trix_sim::run_dataflow_parallel` — flushes
+//! emissions on the calling thread in the serial `(k, layer, v)` order,
+//! so observers see one stream with a fixed order regardless of
+//! `--sim-threads`.
 //!
 //! # Examples
 //!

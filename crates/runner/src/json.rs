@@ -30,7 +30,44 @@ use std::fmt::Write as _;
 ///   fault-free controls and static placements, so `null` means
 ///   "outside the campaign harness", not "no faults"). Part of *what*
 ///   the scenario computed, so canonicalization keeps it.
-pub const BENCH_SCHEMA_VERSION: u32 = 4;
+/// * **5** — added the report-level `parallelism` object
+///   ([`ParallelismStamp`]): the CPU count the process detected once at
+///   startup and whether detection *failed* (auto knobs then fall back
+///   to `trix_sim::FALLBACK_WORKERS`) — so a mis-detected container is
+///   visible in the record file instead of masquerading as a
+///   performance regression. Execution-config metadata like
+///   `sim_threads`: zeroed by [`BenchReport::canonicalized`].
+pub const BENCH_SCHEMA_VERSION: u32 = 5;
+
+/// Process-wide CPU detection the sweep ran under — the report-level
+/// `parallelism` object of schema v5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelismStamp {
+    /// CPU count every auto (`0`) thread knob resolved against.
+    pub workers: usize,
+    /// Whether `available_parallelism()` errored and `workers` is the
+    /// documented fallback rather than a real detection.
+    pub detection_failed: bool,
+}
+
+impl ParallelismStamp {
+    /// The stamp of the current process, from
+    /// [`trix_sim::detected_parallelism`].
+    pub fn current() -> Self {
+        let d = trix_sim::detected_parallelism();
+        Self {
+            workers: d.workers,
+            detection_failed: d.detection_failed,
+        }
+    }
+
+    /// The canonical (zeroed) stamp used for byte-identity comparisons
+    /// across machines.
+    pub const ZERO: Self = Self {
+        workers: 0,
+        detection_failed: false,
+    };
+}
 
 /// Streaming skew statistics of one scenario, produced by an online
 /// observer (`trix_obs::StreamingSkew`) during the run — the `skew`
@@ -173,16 +210,20 @@ pub struct BenchReport {
     pub scale: String,
     /// Base seed of the sweep.
     pub base_seed: u64,
+    /// CPU detection the process ran under (schema v5).
+    pub parallelism: ParallelismStamp,
     /// One record per scenario, in suite order.
     pub records: Vec<BenchRecord>,
 }
 
 impl BenchReport {
-    /// A copy with every execution-volatile field zeroed — wall times
-    /// and intra-scenario worker counts — for byte-identity comparisons
-    /// across `--threads` and `--sim-threads` values.
+    /// A copy with every execution-volatile field zeroed — wall times,
+    /// intra-scenario worker counts, and the machine's parallelism
+    /// stamp — for byte-identity comparisons across `--threads` and
+    /// `--sim-threads` values (and across machines).
     pub fn canonicalized(&self) -> Self {
         let mut copy = self.clone();
+        copy.parallelism = ParallelismStamp::ZERO;
         for r in &mut copy.records {
             r.wall_secs = 0.0;
             r.sim_threads = 0;
@@ -196,6 +237,7 @@ impl BenchReport {
             suite: experiment.to_owned(),
             scale: self.scale.clone(),
             base_seed: self.base_seed,
+            parallelism: self.parallelism,
             records: self
                 .records
                 .iter()
@@ -213,6 +255,11 @@ impl BenchReport {
         let _ = writeln!(out, "  \"suite\": \"{}\",", json_escape(&self.suite));
         let _ = writeln!(out, "  \"scale\": \"{}\",", json_escape(&self.scale));
         let _ = writeln!(out, "  \"base_seed\": {},", self.base_seed);
+        let _ = writeln!(
+            out,
+            "  \"parallelism\": {{\"workers\": {}, \"detection_failed\": {}}},",
+            self.parallelism.workers, self.parallelism.detection_failed
+        );
         out.push_str("  \"records\": [");
         for (i, r) in self.records.iter().enumerate() {
             if i > 0 {
@@ -331,6 +378,10 @@ mod tests {
             suite: "demo".into(),
             scale: "quick".into(),
             base_seed: 7,
+            parallelism: ParallelismStamp {
+                workers: 4,
+                detection_failed: false,
+            },
             records: vec![BenchRecord {
                 experiment: "thm11".into(),
                 scenario: "w=8".into(),
@@ -351,7 +402,8 @@ mod tests {
     #[test]
     fn json_contains_versioned_schema_and_fields() {
         let j = sample().to_json();
-        assert!(j.contains("\"schema_version\": 4"));
+        assert!(j.contains("\"schema_version\": 5"));
+        assert!(j.contains("\"parallelism\": {\"workers\": 4, \"detection_failed\": false}"));
         assert!(j.contains("\"experiment\": \"thm11\""));
         assert!(j.contains("\"params\": {\"width\": \"8\"}"));
         assert!(j.contains("\"seeds\": [1, 2]"));
@@ -404,13 +456,19 @@ mod tests {
         let c = r.canonicalized();
         assert_eq!(c.records[0].wall_secs, 0.0);
         assert_eq!(c.records[0].sim_threads, 0);
+        assert_eq!(c.parallelism, ParallelismStamp::ZERO);
         assert_eq!(c.records[0].events, r.records[0].events);
-        // Identical sweeps differing only in wall time or dataflow
-        // worker count serialize equal after canonicalization — the
-        // contract behind CI's `--sim-threads 4` vs serial `cmp` gate.
+        // Identical sweeps differing only in wall time, dataflow worker
+        // count, or the machine's CPU stamp serialize equal after
+        // canonicalization — the contract behind CI's `--sim-threads
+        // {2,4}` vs serial `cmp` gates.
         let mut other = sample();
         other.records[0].wall_secs = 99.0;
         other.records[0].sim_threads = 1;
+        other.parallelism = ParallelismStamp {
+            workers: 96,
+            detection_failed: true,
+        };
         assert_eq!(c.to_json(), other.canonicalized().to_json());
     }
 

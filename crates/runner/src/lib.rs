@@ -40,7 +40,8 @@
 mod json;
 
 pub use json::{
-    json_escape, BenchRecord, BenchReport, SkewSummary, ValueStats, BENCH_SCHEMA_VERSION,
+    json_escape, BenchRecord, BenchReport, ParallelismStamp, SkewSummary, ValueStats,
+    BENCH_SCHEMA_VERSION,
 };
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -148,6 +149,45 @@ pub fn scenario_seeds(base: u64, experiment: &str, index: u64, count: usize) -> 
     (0..count).map(|_| splitmix64(&mut state)).collect()
 }
 
+/// Splits detected CPU parallelism between the two thread knobs of the
+/// experiment harness: the scenario-sweep level ([`SweepRunner`]) and the
+/// intra-scenario dataflow level (`run_dataflow_parallel`'s `threads`).
+///
+/// `0` means "auto" on either knob. The total worker count of a sweep is
+/// the *product* of the two levels, so resolving each `0` independently
+/// to "all CPUs" — as the levels historically did per call — oversizes a
+/// doubly-auto sweep to `cores²` workers. This resolver is the suite-level
+/// fix: it reads [`trix_sim::detected_parallelism`] **once** and divides
+/// it between the levels so the resolved product never exceeds the
+/// detected parallelism (whenever the explicit knobs themselves don't):
+///
+/// * `(0, 0)` → `(P, 1)` — scenario-level parallelism wins, because a
+///   suite has many independent scenarios and sweep-level sharding has
+///   no synchronization cost at all;
+/// * `(0, m)` → `(max(1, ⌊P/m⌋), m)` — the sweep gets the CPUs the
+///   explicit sim knob leaves over;
+/// * `(n, 0)` → `(n, max(1, ⌊P/n⌋))` — and vice versa;
+/// * `(n, m)` → `(n, m)` — explicit choices are always respected.
+///
+/// # Examples
+///
+/// ```
+/// use trix_runner::resolve_thread_split;
+///
+/// let p = trix_sim::detected_parallelism().workers;
+/// assert_eq!(resolve_thread_split(0, 0), (p, 1));
+/// assert_eq!(resolve_thread_split(3, 2), (3, 2));
+/// ```
+pub fn resolve_thread_split(threads: usize, sim_threads: usize) -> (usize, usize) {
+    let p = trix_sim::detected_parallelism().workers;
+    match (threads, sim_threads) {
+        (0, 0) => (p, 1),
+        (0, m) => ((p / m).max(1), m),
+        (n, 0) => (n, (p / n).max(1)),
+        explicit => explicit,
+    }
+}
+
 /// Shards independent work items across OS threads, order-preserving.
 #[derive(Clone, Copy, Debug)]
 pub struct SweepRunner {
@@ -156,10 +196,17 @@ pub struct SweepRunner {
 
 impl SweepRunner {
     /// Creates a runner using `threads` workers; `0` means "one per
-    /// available CPU".
+    /// available CPU" (via the process-wide
+    /// [`trix_sim::detected_parallelism`] cache — if CPU detection fails
+    /// the runner falls back to [`trix_sim::FALLBACK_WORKERS`] and the
+    /// failure is visible through that API rather than swallowed here).
+    ///
+    /// When combining with intra-scenario `sim_threads`, resolve both
+    /// knobs through [`resolve_thread_split`] instead of passing `0`
+    /// here: `new(0)` alone claims every CPU for the sweep level.
     pub fn new(threads: usize) -> Self {
         let threads = if threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            trix_sim::detected_parallelism().workers
         } else {
             threads
         };
@@ -268,6 +315,40 @@ mod tests {
     fn zero_threads_means_available_parallelism() {
         assert!(SweepRunner::new(0).threads() >= 1);
         assert_eq!(SweepRunner::new(3).threads(), 3);
+        // The runner resolves through the same process-wide cache every
+        // other auto knob uses.
+        assert_eq!(
+            SweepRunner::new(0).threads(),
+            trix_sim::detected_parallelism().workers
+        );
+    }
+
+    /// Regression test for the `threads == 0` × `--sim-threads 0`
+    /// oversubscription footgun: with each level auto-resolving
+    /// independently a doubly-auto sweep spawned `cores²` workers. The
+    /// suite-level resolver must keep the resolved product within the
+    /// detected parallelism whenever the explicit knobs themselves do.
+    #[test]
+    fn resolved_thread_product_never_exceeds_available_parallelism() {
+        let p = trix_sim::detected_parallelism().workers;
+        // Both auto: the historic footgun shape.
+        let (threads, sim) = resolve_thread_split(0, 0);
+        assert!(threads * sim <= p, "({threads}, {sim}) oversubscribes {p}");
+        // One knob auto, the other explicit but within budget.
+        for explicit in 1..=p {
+            let (threads, sim) = resolve_thread_split(0, explicit);
+            assert_eq!(sim, explicit);
+            assert!(threads * sim <= p, "({threads}, {sim}) oversubscribes {p}");
+            let (threads, sim) = resolve_thread_split(explicit, 0);
+            assert_eq!(threads, explicit);
+            assert!(threads * sim <= p, "({threads}, {sim}) oversubscribes {p}");
+        }
+        // Auto never resolves to zero workers, even when the explicit
+        // knob exceeds the whole budget.
+        assert_eq!(resolve_thread_split(0, 16 * p), (1, 16 * p));
+        assert_eq!(resolve_thread_split(16 * p, 0), (16 * p, 1));
+        // Explicit pairs pass through untouched.
+        assert_eq!(resolve_thread_split(3, 5), (3, 5));
     }
 
     #[test]

@@ -343,7 +343,7 @@ pub fn run_dataflow_observed(
 /// go through the precomputed [`InEdgeCsr`]; `scratch` is the caller's
 /// reusable neighbor-arrival buffer (no per-node allocation).
 #[allow(clippy::too_many_arguments)]
-fn eval_layer_chunk(
+pub(crate) fn eval_layer_chunk(
     g: &LayeredGraph,
     env: &impl Environment,
     rule: &impl PulseRule,
@@ -385,10 +385,13 @@ fn eval_layer_chunk(
 }
 
 /// Resolves a thread-count knob: `0` means one worker per available CPU
-/// (matching `trix_runner::SweepRunner`'s convention).
+/// (matching `trix_runner::SweepRunner`'s convention), resolved through
+/// the process-wide [`crate::detected_parallelism`] cache — a detection
+/// failure falls back to [`crate::FALLBACK_WORKERS`] and is visible in
+/// the cached record instead of silently degrading per call.
 fn resolve_threads(threads: usize) -> usize {
     if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        crate::frontier::detected_parallelism().workers
     } else {
         threads
     }
@@ -401,31 +404,81 @@ fn resolve_threads(threads: usize) -> usize {
 /// Iteration `k` of layer `ℓ` depends only on iteration `k` of layer
 /// `ℓ − 1` (paper Lemma B.1), and each node's nominal time is a pure
 /// function of that previous row — so the width dimension of a layer is
-/// embarrassingly parallel. The driver splits each layer into fixed
-/// contiguous column chunks evaluated by persistent `std::thread::scope`
-/// workers (spawned once per run, synchronized with a [`Barrier`] per
-/// layer; no per-layer spawn cost, no unsafe, no new dependencies); each
-/// worker writes its chunk into its own staging buffer, and the calling
-/// thread alone publishes the completed row and flushes every observer
-/// emission in the serial driver's `(k, layer, v)` order. Simulated-event
-/// metrics are likewise batched onto the calling thread, so
-/// `trix_sim::metrics::total()` matches a serial run exactly.
+/// embarrassingly parallel, and the only real dependencies are the
+/// `O(1)` boundary columns each chunk reads from its neighbors. The
+/// engine behind this driver is the barrier-free frontier scheduler
+/// (`crates/sim/src/frontier.rs`): persistent `std::thread::scope`
+/// workers own
+/// fixed contiguous column chunks, publish per-chunk rows through
+/// versioned slots, and advance as soon as the chunks covering their
+/// in-edge boundary have published the previous `(pulse, layer)` step —
+/// stragglers block only their downstream neighbors, and chunks
+/// pipeline across layers and pulses with no global synchronization.
+/// The calling thread trails the workers as a dedicated flusher: it
+/// alone talks to the observer and the metrics counter, in the serial
+/// driver's `(k, layer, v)` order, so `trix_sim::metrics::total()` and
+/// the emission stream match a serial run exactly. (The superseded
+/// barrier engine is retained as [`run_dataflow_barrier`] — a measured
+/// baseline and differential-testing oracle.)
 ///
-/// `threads == 0` means one worker per available CPU — note this
-/// resolves per call, so combining it with an auto-sized *scenario*
-/// sweep (`SweepRunner::new(0)`) oversubscribes quadratically; pick one
-/// level to auto-size. With one worker (or a single-layer graph) this
-/// delegates to the serial driver outright.
+/// `threads == 0` means one *compute* worker per available CPU,
+/// resolved once per process through [`crate::detected_parallelism`].
+/// Auto-sizing composes with the scenario sweep level through
+/// `trix_runner::resolve_thread_split`, which divides detected CPUs
+/// between the two knobs — use it rather than passing `0` to both
+/// levels independently. With one worker (or a single-layer graph, or
+/// zero pulses) this delegates to the serial driver outright.
 ///
 /// # Panics
 ///
 /// A panic anywhere in `rule`/`env`/`sends`/`layer0` — on any worker —
 /// aborts the run and re-raises the original payload on the calling
-/// thread, exactly like the serial driver (the barrier protocol is shut
-/// down cleanly first; `std::sync::Barrier` has no poisoning, so without
-/// this the surviving threads would deadlock).
+/// thread, exactly like the serial driver. There are no barriers to
+/// poison: every blocking wait in the frontier protocol loops over an
+/// abort flag, so the shutdown needs no synchronized re-check points.
 #[allow(clippy::too_many_arguments)] // the serial driver's signature + the thread knob
 pub fn run_dataflow_parallel(
+    g: &LayeredGraph,
+    env: &(impl Environment + Sync),
+    layer0: &(impl Layer0Source + Sync),
+    rule: &(impl PulseRule + Sync),
+    sends: &(impl SendModel + Sync),
+    pulses: usize,
+    threads: usize,
+    obs: &mut impl Observer,
+) {
+    let workers = resolve_threads(threads).min(g.width());
+    if workers <= 1 || g.layer_count() <= 1 || pulses == 0 {
+        run_dataflow_observed(g, env, layer0, rule, sends, pulses, obs);
+        return;
+    }
+    for n in g.nodes() {
+        if sends.is_faulty(n) {
+            obs.on_faulty(n);
+        }
+    }
+    crate::frontier::run_frontier(g, env, layer0, rule, sends, pulses, workers, obs);
+}
+
+/// The superseded two-`Barrier`-per-layer parallel driver, retained as a
+/// measured baseline and differential-testing oracle for the frontier
+/// engine behind [`run_dataflow_parallel`].
+///
+/// Same contract as [`run_dataflow_parallel`] — bit-identical output for
+/// every thread count, metrics and emissions on the calling thread — but
+/// every layer costs two global barrier rounds, so wall time scales with
+/// `layer_count × 2` barrier waits and one straggler chunk stalls every
+/// worker. The `dataflow_parallel` criterion group benchmarks the two
+/// engines side by side, and the engine-level property tests assert
+/// three-way bit-identity (serial / barrier / frontier).
+///
+/// # Panics
+///
+/// As [`run_dataflow_parallel`]: a panic on any worker re-raises on the
+/// calling thread (here via abort flags re-checked after each barrier,
+/// since `std::sync::Barrier` has no poisoning).
+#[allow(clippy::too_many_arguments)] // the serial driver's signature + the thread knob
+pub fn run_dataflow_barrier(
     g: &LayeredGraph,
     env: &(impl Environment + Sync),
     layer0: &(impl Layer0Source + Sync),
@@ -450,14 +503,12 @@ pub fn run_dataflow_parallel(
     let clocks = env.pulse_invariant_clocks();
     // Fixed contiguous column chunks; worker `c` owns `bounds[c]`. The
     // partition never influences results (each column is a pure function
-    // of the previous row), only load balance.
-    let chunk = width.div_ceil(workers);
-    // Ceil chunking can leave empty tail chunks (width 5 over 4 workers
-    // → chunks of 2 need only 3 workers); drop them.
-    let workers = width.div_ceil(chunk);
-    let bounds: Vec<(usize, usize)> = (0..workers)
-        .map(|c| (c * chunk, ((c + 1) * chunk).min(width)))
-        .collect();
+    // of the previous row), only load balance. `chunk_partition` tiles
+    // `0..width` exactly with no empty chunks, so the pool is sized by
+    // the partition it returns (ceil chunking can need fewer workers
+    // than requested: width 5 over 4 workers → 3 chunks of 2).
+    let bounds = trix_topology::chunk_partition(width, workers);
+    let workers = bounds.len();
     // The published layer-(ℓ−1) row. Workers hold read locks while
     // evaluating; the driver takes the write lock only between the
     // "chunks done" and "row published" barriers, when every worker is

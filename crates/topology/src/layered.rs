@@ -130,6 +130,64 @@ impl InEdgeCsr {
             .max()
             .unwrap_or(0)
     }
+
+    /// The *external* predecessor columns of the contiguous column chunk
+    /// `lo .. hi`: every base column outside the chunk that some column
+    /// inside it reads across a layer boundary, sorted and deduplicated.
+    ///
+    /// Because every layer boundary is the same copy of the base graph,
+    /// one answer serves all layers — this is the chunk's in-edge
+    /// boundary that a frontier scheduler must see published before it
+    /// can advance the chunk to the next layer. For the paper's
+    /// degree-≤4 base graphs the result has `O(1)` entries regardless of
+    /// chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `hi` exceeds the width.
+    pub fn boundary_preds(&self, lo: usize, hi: usize) -> Vec<u32> {
+        assert!(lo < hi && hi <= self.width(), "chunk out of range");
+        let mut out: Vec<u32> = (lo..hi)
+            .flat_map(|w| self.in_edges(w))
+            .map(|e| e.pred)
+            .filter(|&p| (p as usize) < lo || p as usize >= hi)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Splits the column range `0 .. width` into at most `chunks` contiguous,
+/// **non-empty** ranges of near-equal (ceil) size.
+///
+/// This is the canonical chunking used by the parallel dataflow drivers:
+/// ceil-sized chunks can need fewer workers than requested (width 5 over 4
+/// workers → chunks of 2 → only 3 chunks), so callers must size their
+/// worker pool from the returned partition, never from the request. The
+/// returned ranges always tile `0 .. width` exactly — degenerate inputs
+/// (width 1, prime widths, `chunks > width`) included.
+///
+/// # Examples
+///
+/// ```
+/// use trix_topology::chunk_partition;
+///
+/// assert_eq!(chunk_partition(5, 4), vec![(0, 2), (2, 4), (4, 5)]);
+/// assert_eq!(chunk_partition(1, 8), vec![(0, 1)]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `chunks == 0`.
+pub fn chunk_partition(width: usize, chunks: usize) -> Vec<(usize, usize)> {
+    assert!(width > 0, "cannot partition an empty column range");
+    assert!(chunks > 0, "need at least one chunk");
+    let size = width.div_ceil(chunks);
+    let count = width.div_ceil(size);
+    (0..count)
+        .map(|c| (c * size, ((c + 1) * size).min(width)))
+        .collect()
 }
 
 /// Dense index of a directed edge of the layered graph.
@@ -466,6 +524,51 @@ mod tests {
                 csr.max_in_degree(),
                 (0..g.width()).map(|w| g.in_degree(w)).max().unwrap()
             );
+        }
+    }
+
+    #[test]
+    fn chunk_partition_tiles_exactly() {
+        // Degenerate shapes the schedulers must survive: width 1, prime
+        // widths, more chunks than columns, single chunk.
+        for width in [1usize, 2, 3, 5, 7, 11, 13, 16, 17, 100] {
+            for chunks in [1usize, 2, 3, 4, 5, 7, 8, 16, 64] {
+                let parts = chunk_partition(width, chunks);
+                assert!(!parts.is_empty());
+                assert!(parts.len() <= chunks, "never more chunks than asked");
+                assert_eq!(parts[0].0, 0);
+                assert_eq!(parts.last().unwrap().1, width);
+                for pair in parts.windows(2) {
+                    assert_eq!(pair[0].1, pair[1].0, "contiguous tiling");
+                }
+                for &(lo, hi) in &parts {
+                    assert!(lo < hi, "no empty chunk for width {width} / {chunks}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_preds_are_external_sorted_and_complete() {
+        for g in [sample(), LayeredGraph::new(BaseGraph::cycle(6), 3)] {
+            let csr = g.in_edge_csr();
+            for (lo, hi) in chunk_partition(g.width(), 3) {
+                let preds = csr.boundary_preds(lo, hi);
+                // Sorted, deduplicated, strictly external.
+                assert!(preds.windows(2).all(|w| w[0] < w[1]));
+                assert!(preds.iter().all(|&p| (p as usize) < lo || p as usize >= hi));
+                // Complete: every external in-edge pred appears.
+                for w in lo..hi {
+                    for e in csr.in_edges(w) {
+                        let p = e.pred as usize;
+                        if p < lo || p >= hi {
+                            assert!(preds.contains(&e.pred));
+                        }
+                    }
+                }
+            }
+            // A full-width chunk has no external boundary.
+            assert!(csr.boundary_preds(0, g.width()).is_empty());
         }
     }
 

@@ -48,4 +48,4 @@ mod layered;
 pub use ancestors::{distance_ancestors, distance_k_faulty, max_k_faulty};
 pub use base::BaseGraph;
 pub use hex::{HexGrid, HexNodeId};
-pub use layered::{EdgeId, InEdge, InEdgeCsr, LayeredGraph, NodeId};
+pub use layered::{chunk_partition, EdgeId, InEdge, InEdgeCsr, LayeredGraph, NodeId};

@@ -147,16 +147,24 @@ fn suite_streaming_stats_equal_post_hoc_for_any_thread_count() {
 }
 
 /// The new schema round-trips through disk: the written
-/// `BENCH_exp_scale.json` re-reads byte-identically and carries the v4
-/// version tag, the `sim_threads` execution metadata, and the streamed
-/// statistics.
+/// `BENCH_exp_scale.json` re-reads byte-identically and carries the v5
+/// version tag, the parallelism stamp, the `sim_threads` execution
+/// metadata, and the streamed statistics.
 #[test]
-fn exp_scale_record_round_trips_schema_v4() {
+fn exp_scale_record_round_trips_schema_v5() {
     let outcome = run_suite(Scale::Smoke, 7, 2, TraceMode::NoTrace, 2);
     let report = outcome.report.filtered("exp_scale");
     assert!(!report.records.is_empty());
     let json = report.to_json();
-    assert!(json.contains("\"schema_version\": 4"));
+    assert!(json.contains("\"schema_version\": 5"));
+    // Schema v5: the report is stamped with the process's actual CPU
+    // detection (the harness can't masquerade a failed detection as a
+    // perf regression).
+    let stamp = trix_runner::ParallelismStamp::current();
+    assert!(json.contains(&format!(
+        "\"parallelism\": {{\"workers\": {}, \"detection_failed\": {}}}",
+        stamp.workers, stamp.detection_failed
+    )));
     assert!(json.contains("\"sim_threads\": 2"));
     assert!(json.contains("\"skew\": {\"max_intra\":"));
     // exp_scale runs no campaign; records truthfully carry null.
