@@ -89,6 +89,61 @@ pub fn run_gradient_trix_streaming(
     }
 }
 
+/// Runs Gradient TRIX on an **arbitrary connected base graph**: identical
+/// seed derivation to [`run_gradient_trix`] (env from `fork(1)`, layer 0
+/// from `fork(2)`), but layer 0 comes from the BFS-forest source
+/// ([`Layer0Line::random_for_graph`]) instead of the Appendix-A line —
+/// the line's hop chain `v−1 → v` is only meaningful on
+/// `line_with_replicated_ends`. The two sources draw differently even on
+/// line graphs (the forest roots at node 0), so the grid experiments
+/// keep [`run_gradient_trix`] and their pinned fingerprints; this is the
+/// entry point for the topology-family sweep (`exp_topology`).
+pub fn run_gradient_trix_graph(
+    g: &LayeredGraph,
+    params: &Params,
+    rule: &GradientTrixRule,
+    sends: &impl SendModel,
+    pulses: usize,
+    seed: u64,
+) -> (PulseTrace, StaticEnvironment) {
+    let root = Rng::seed_from(seed);
+    let mut env_rng = root.fork(1);
+    let mut layer0_rng = root.fork(2);
+    let env = StaticEnvironment::random(g, params.d(), params.u(), params.theta(), &mut env_rng);
+    let layer0 = Layer0Line::random_for_graph(params, g.base(), &mut layer0_rng);
+    let trace = run_dataflow(g, &env, &layer0, rule, sends, pulses);
+    (trace, env)
+}
+
+/// Streaming twin of [`run_gradient_trix_graph`]: the graph-generic
+/// workload of [`run_gradient_trix_streaming`] — same seed derivation,
+/// BFS-forest layer 0, `O(width)` driver state — with `sim_threads`
+/// sharding exactly as there (`1` = serial engine, otherwise the
+/// parallel frontier driver; the emission stream is bit-identical for
+/// every value).
+#[allow(clippy::too_many_arguments)] // mirrors the engine signature + the thread knob
+pub fn run_gradient_trix_streaming_graph(
+    g: &LayeredGraph,
+    params: &Params,
+    rule: &GradientTrixRule,
+    sends: &(impl SendModel + Sync),
+    pulses: usize,
+    seed: u64,
+    sim_threads: usize,
+    obs: &mut impl Observer,
+) {
+    let root = Rng::seed_from(seed);
+    let mut env_rng = root.fork(1);
+    let mut layer0_rng = root.fork(2);
+    let env = StaticEnvironment::random(g, params.d(), params.u(), params.theta(), &mut env_rng);
+    let layer0 = Layer0Line::random_for_graph(params, g.base(), &mut layer0_rng);
+    if sim_threads == 1 {
+        run_dataflow_observed(g, &env, &layer0, rule, sends, pulses, obs);
+    } else {
+        run_dataflow_parallel(g, &env, &layer0, rule, sends, pulses, sim_threads, obs);
+    }
+}
+
 /// One grid of a streaming (`--no-trace`) twin sweep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StreamingGrid {

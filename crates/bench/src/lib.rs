@@ -38,6 +38,7 @@ pub mod exp_thm12;
 pub mod exp_thm13;
 pub mod exp_thm14;
 pub mod exp_thm16;
+pub mod exp_topology;
 
 use suite::{Scenario, SuiteOutcome};
 use trix_analysis::Table;
@@ -162,6 +163,8 @@ pub fn all_scenarios(
         scenarios.extend(exp_scale::scenarios(scale, base_seed, sim_threads));
         // §20 Fault-campaign density sweep (streaming-only in both modes).
         scenarios.extend(exp_fault_sweep::scenarios(scale, base_seed, sim_threads));
+        // §21 Topology-family sweep (streaming-only in both modes).
+        scenarios.extend(exp_topology::scenarios(scale, base_seed, sim_threads));
         return scenarios;
     }
     // §1 Table 1.
@@ -204,6 +207,8 @@ pub fn all_scenarios(
     scenarios.extend(exp_scale::scenarios(scale, base_seed, sim_threads));
     // §20 Fault-campaign density sweep (streaming-only in both modes).
     scenarios.extend(exp_fault_sweep::scenarios(scale, base_seed, sim_threads));
+    // §21 Topology-family sweep (streaming-only in both modes).
+    scenarios.extend(exp_topology::scenarios(scale, base_seed, sim_threads));
     scenarios
 }
 
@@ -250,7 +255,7 @@ mod tests {
     #[test]
     fn quick_run_produces_all_tables() {
         let outcome = run_suite(Scale::Quick, 0, 1, TraceMode::Full, 1);
-        assert_eq!(outcome.tables.len(), 22);
+        assert_eq!(outcome.tables.len(), 23);
         for t in &outcome.tables {
             assert!(!t.is_empty(), "empty table: {}", t.to_markdown());
         }
@@ -281,7 +286,7 @@ mod tests {
     #[test]
     fn smoke_run_is_complete_and_small() {
         let outcome = run_suite(Scale::Smoke, 0, 0, TraceMode::Full, 1);
-        assert_eq!(outcome.tables.len(), 22);
+        assert_eq!(outcome.tables.len(), 23);
         for t in &outcome.tables {
             assert!(!t.is_empty());
         }
@@ -303,8 +308,8 @@ mod tests {
             .map(|r| r.experiment.as_str())
             .collect();
         experiments.dedup();
-        assert_eq!(experiments.len(), 20);
-        assert_eq!(experiments.last(), Some(&"exp_fault_sweep"));
+        assert_eq!(experiments.len(), 21);
+        assert_eq!(experiments.last(), Some(&"exp_topology"));
         // The whole point of the mode: every record carries streaming
         // skew statistics, and every simulated scenario counted events.
         for r in &outcome.report.records {

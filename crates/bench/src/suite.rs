@@ -64,6 +64,10 @@ pub struct Scenario {
     /// point, fault-free controls included). Stamped into the benchmark
     /// record (schema v4).
     campaign: Option<String>,
+    /// Versioned topology descriptor of the graph family the job runs on
+    /// (`None` for the pre-family grid scenarios). Stamped into the
+    /// benchmark record (schema v6).
+    topology: Option<String>,
     job: Job,
 }
 
@@ -87,6 +91,7 @@ impl Scenario {
             seeds: seeds.to_vec(),
             sim_threads: 1,
             campaign: None,
+            topology: None,
             job: Box::new(move || job().into()),
         }
     }
@@ -108,9 +113,24 @@ impl Scenario {
         self
     }
 
+    /// Declares the versioned topology descriptor of the graph family
+    /// this scenario's job runs on — stamped into its benchmark record
+    /// (schema v6), so trajectory tooling can group skew envelopes by
+    /// graph shape the way it groups fault records by campaign.
+    pub fn with_topology(mut self, descriptor: impl Into<String>) -> Self {
+        self.topology = Some(descriptor.into());
+        self
+    }
+
     /// The experiment this scenario belongs to.
     pub fn experiment(&self) -> &'static str {
         self.experiment
+    }
+
+    /// The topology descriptor stamped by [`Scenario::with_topology`],
+    /// if any.
+    pub fn topology(&self) -> Option<&str> {
+        self.topology.as_deref()
     }
 
     /// The scenario's human-readable label.
@@ -219,6 +239,7 @@ pub fn run_scenarios(
             seeds,
             sim_threads,
             campaign,
+            topology,
             job,
         } = scenario;
         trix_sim::metrics::reset();
@@ -238,6 +259,7 @@ pub fn run_scenarios(
             values: table_value_stats(&result.table),
             skew: result.skew,
             campaign,
+            topology,
             wall_secs,
         };
         let violations: Vec<Violation> = result
@@ -354,6 +376,26 @@ mod tests {
             .report
             .to_json()
             .contains("\"campaign\": \"wave col=4 silent\""));
+    }
+
+    /// Topology descriptors (schema v6) ride the scenario into its
+    /// record; grid scenarios without one truthfully record `null`.
+    #[test]
+    fn records_carry_topology_descriptors() {
+        let scenarios = vec![
+            shard("plain", 1),
+            shard("family", 2).with_topology("v1 torus rows=3 cols=3 n=9 m=18 deg=4..4 D=2"),
+        ];
+        let out = run_scenarios(scenarios, Scale::Smoke, 0, 1);
+        assert_eq!(out.report.records[0].topology, None);
+        assert_eq!(
+            out.report.records[1].topology.as_deref(),
+            Some("v1 torus rows=3 cols=3 n=9 m=18 deg=4..4 D=2")
+        );
+        assert!(out
+            .report
+            .to_json()
+            .contains("\"topology\": \"v1 torus rows=3 cols=3 n=9 m=18 deg=4..4 D=2\""));
     }
 
     #[test]

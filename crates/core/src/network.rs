@@ -4,9 +4,12 @@
 //! Engine node indices: `0` is the clock source; node `(v, ℓ)` of the
 //! layered graph maps to `1 + ℓ·width + v` (see [`GridIndex`]).
 //!
-//! The builder is primarily intended for the line-with-replicated-ends
-//! base graph (Figure 2), whose canonical layer-0 chain
-//! ([`crate::Layer0Line::chain_for_line`]) visits nodes in index order.
+//! [`GridNetwork::build`] wires the line-with-replicated-ends setting
+//! (Figure 2), whose canonical layer-0 chain
+//! ([`crate::Layer0Line::chain_for_line`]) visits nodes in index order;
+//! [`GridNetwork::build_with_chain`] accepts any base-graph family paired
+//! with an explicit layer-0 forest (canonically
+//! [`crate::Layer0Line::chain_for_graph`]).
 
 use crate::{ClockSourceNode, Layer0Line};
 use crate::{GradientTrixNode, GridNodeConfig, LineForwarderNode, Params};
@@ -93,7 +96,6 @@ impl GridNetwork {
     /// # Panics
     ///
     /// Panics if the environment does not match `g`.
-    #[allow(clippy::needless_range_loop)] // v indexes the parallel `chain` table
     pub fn build(
         g: &LayeredGraph,
         params: &Params,
@@ -101,8 +103,44 @@ impl GridNetwork {
         cfg: GridNodeConfig,
         source_pulses: u64,
         rng: &mut Rng,
+        override_node: impl FnMut(NodeId, &NodeWiring) -> Option<Box<dyn Node>>,
+    ) -> Self {
+        let chain = Layer0Line::chain_for_line(g.width());
+        Self::build_with_chain(
+            g,
+            params,
+            env,
+            cfg,
+            source_pulses,
+            rng,
+            &chain,
+            override_node,
+        )
+    }
+
+    /// As [`GridNetwork::build`], but with an explicit layer-0 parent
+    /// forest — the entry point for non-line base graphs, which pair
+    /// naturally with [`Layer0Line::chain_for_graph`] (a BFS forest whose
+    /// depth, and hence layer-0 offset spread, is bounded by the graph
+    /// diameter instead of the width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment does not match `g` or `chain` is not
+    /// one parent slot per base node.
+    #[allow(clippy::too_many_arguments)] // build's signature + the chain
+    #[allow(clippy::needless_range_loop)] // v indexes the parallel `chain` table
+    pub fn build_with_chain(
+        g: &LayeredGraph,
+        params: &Params,
+        env: &StaticEnvironment,
+        cfg: GridNodeConfig,
+        source_pulses: u64,
+        rng: &mut Rng,
+        chain: &[Option<usize>],
         mut override_node: impl FnMut(NodeId, &NodeWiring) -> Option<Box<dyn Node>>,
     ) -> Self {
+        assert_eq!(chain.len(), g.width(), "one chain parent per base node");
         let index = GridIndex {
             width: g.width(),
             layer_count: g.layer_count(),
@@ -114,9 +152,6 @@ impl GridNetwork {
             clocks.push(env.clocks()[i].into());
         }
         let mut des = Des::new(clocks);
-
-        // Layer-0 chain links.
-        let chain = Layer0Line::chain_for_line(g.width());
         let chain_delay = |rng: &mut Rng| {
             Duration::from(rng.f64_in(params.d_min().as_f64(), params.d().as_f64()))
         };
@@ -285,6 +320,69 @@ mod tests {
         // lambda per chain position (the diagonal indexing of Lemma A.1),
         // so the meaningful comparison is between *nearest-in-time* pulses
         // of adjacent nodes.
+        let reference = 12.0 * lambda;
+        let nearest = |pulses: &[Time]| -> f64 {
+            pulses
+                .iter()
+                .map(|t| t.as_f64())
+                .min_by(|a, b| (a - reference).abs().total_cmp(&(b - reference).abs()))
+                .unwrap()
+        };
+        let bound =
+            p.fault_free_local_skew_bound(g.base().diameter()).as_f64() + p.lambda().as_f64() / 2.0;
+        for layer in 1..g.layer_count() {
+            for (a, b) in g.base().edges() {
+                let ta = nearest(&by_node[net.index.engine_id(g.node(a, layer))]);
+                let tb = nearest(&by_node[net.index.engine_id(g.node(b, layer))]);
+                assert!(
+                    (ta - tb).abs() <= bound,
+                    "layer {layer} pair ({a},{b}): skew {}",
+                    (ta - tb).abs()
+                );
+            }
+        }
+    }
+
+    /// A non-grid family flows through the full DES deployment: torus
+    /// base graph, BFS layer-0 forest, every node reaches steady state
+    /// and graph-adjacent pulses respect the diameter-parameterized
+    /// envelope.
+    #[test]
+    fn torus_network_reaches_steady_state() {
+        let p = params();
+        let torus = trix_topology::families::torus(3, 4).into_graph();
+        let g = LayeredGraph::new(torus, 4);
+        let mut rng = Rng::seed_from(23);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let cfg = GridNodeConfig::standard(p, g.base().diameter());
+        let chain = Layer0Line::chain_for_graph(g.base());
+        let mut net =
+            GridNetwork::build_with_chain(&g, &p, &env, cfg, 24, &mut rng, &chain, |_, _| None);
+        net.run(Time::from(1e9));
+        let by_node = net.broadcasts_by_node();
+        let lambda = p.lambda().as_f64();
+        for layer in 1..g.layer_count() {
+            for v in 0..g.width() {
+                let pulses = &by_node[net.index.engine_id(g.node(v, layer))];
+                assert!(
+                    pulses.len() >= 18,
+                    "node ({v},{layer}) produced too few pulses: {}",
+                    pulses.len()
+                );
+                let tail = &pulses[pulses.len() - 8..pulses.len() - 1];
+                for w in tail.windows(2) {
+                    let gap = (w[1] - w[0]).as_f64();
+                    assert!(
+                        (gap - lambda).abs() < p.kappa().as_f64(),
+                        "node ({v},{layer}): gap {gap} too far from lambda"
+                    );
+                }
+            }
+        }
+        // Graph-adjacent nodes' nearest-in-time pulses stay within the
+        // diameter-parameterized bound (BFS chain depth <= D keeps the
+        // layer-0 spread small; the wrap edges are the interesting pairs
+        // an index chain would have torn apart).
         let reference = 12.0 * lambda;
         let nearest = |pulses: &[Time]| -> f64 {
             pulses

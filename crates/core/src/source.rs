@@ -106,13 +106,62 @@ impl Layer0Line {
     /// A random in-model instantiation over the canonical line chain.
     pub fn random_for_line(params: &Params, width: usize, rng: &mut Rng) -> Self {
         let parents = Self::chain_for_line(width);
-        let delays: Vec<Duration> = (0..width)
+        Self::random_for_parents(params, &parents, rng)
+    }
+
+    /// The canonical chain for an arbitrary base graph: the BFS tree from
+    /// node 0, children discovered in sorted-neighbor order.
+    ///
+    /// Every node sits at BFS depth at most the diameter `D`, and each
+    /// tree hop contributes an offset in `[−κ/2, 0]` (Lemma A.1), so all
+    /// layer-0 offsets lie in `[−(D+1)·κ/2, 0]` and any two nodes —
+    /// graph-adjacent or not — are within `(D+1)·κ/2` of each other.
+    /// That stays below the diameter-parameterized Theorem 1.1 envelope
+    /// `4κ(2 + log₂ D)` for every `D ≤ 43`, comfortably covering the
+    /// family sweeps.
+    ///
+    /// Deterministic: same graph ⇒ same forest (node 0 is the unique
+    /// root fed directly by the source).
+    pub fn chain_for_graph(base: &trix_topology::BaseGraph) -> Vec<Option<usize>> {
+        let n = base.node_count();
+        let mut parents: Vec<Option<usize>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[0] = true;
+        queue.push_back(0usize);
+        while let Some(v) = queue.pop_front() {
+            for &w in base.neighbors(v) {
+                if !seen[w] {
+                    seen[w] = true;
+                    parents[w] = Some(v);
+                    queue.push_back(w);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "base graph must be connected");
+        parents
+    }
+
+    /// A random in-model instantiation over [`Layer0Line::chain_for_graph`].
+    pub fn random_for_graph(
+        params: &Params,
+        base: &trix_topology::BaseGraph,
+        rng: &mut Rng,
+    ) -> Self {
+        let parents = Self::chain_for_graph(base);
+        Self::random_for_parents(params, &parents, rng)
+    }
+
+    /// Draws in-model hop delays then hop rates for a given forest (the
+    /// draw order — all delays, then all rates — is part of the seed
+    /// contract pinned by the experiment fingerprints).
+    fn random_for_parents(params: &Params, parents: &[Option<usize>], rng: &mut Rng) -> Self {
+        let n = parents.len();
+        let delays: Vec<Duration> = (0..n)
             .map(|_| Duration::from(rng.f64_in(params.d_min().as_f64(), params.d().as_f64())))
             .collect();
-        let rates: Vec<f64> = (0..width)
-            .map(|_| rng.f64_in(1.0, params.theta()))
-            .collect();
-        Self::new(params, &parents, &delays, &rates)
+        let rates: Vec<f64> = (0..n).map(|_| rng.f64_in(1.0, params.theta())).collect();
+        Self::new(params, parents, &delays, &rates)
     }
 
     /// Per-node offsets from the nominal pulse grid `k·Λ`.
@@ -362,6 +411,31 @@ mod tests {
         // Only the two source pulses; the forwarder never fires.
         assert_eq!(des.broadcasts().len(), 2);
         assert!(des.broadcasts().iter().all(|b| b.node == 0));
+    }
+
+    #[test]
+    fn graph_chain_is_a_bfs_forest_with_bounded_offsets() {
+        let p = params();
+        let torus = trix_topology::families::torus(4, 5).into_graph();
+        let parents = Layer0Line::chain_for_graph(&torus);
+        // Node 0 is the unique root; every parent is a graph neighbor.
+        assert_eq!(parents[0], None);
+        assert_eq!(parents.iter().filter(|p| p.is_none()).count(), 1);
+        for (v, parent) in parents.iter().enumerate().skip(1) {
+            let q = parent.expect("non-root has a parent");
+            assert!(torus.neighbors(v).contains(&q));
+        }
+        // BFS depth never exceeds the eccentricity of node 0 <= D, so all
+        // offsets land in [-(D+1)·κ/2, 0] — under the Thm 1.1 envelope.
+        let mut rng = Rng::seed_from(9);
+        let line = Layer0Line::random_for_graph(&p, &torus, &mut rng);
+        let bound = (torus.diameter() as f64 + 1.0) * p.kappa().as_f64() / 2.0;
+        for &f in line.offsets() {
+            assert!(f <= 0.0 && f >= -bound - 1e-12, "{f} outside [-{bound}, 0]");
+        }
+        assert!(line.offset_spread().as_f64() <= bound + 1e-12);
+        // Deterministic: the same graph yields the same forest.
+        assert_eq!(parents, Layer0Line::chain_for_graph(&torus));
     }
 
     #[test]

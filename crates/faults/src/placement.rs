@@ -333,6 +333,51 @@ mod tests {
         assert!(!is_one_local(&g, &ends));
     }
 
+    /// The placement APIs are graph-generic: 1-locality on non-grid
+    /// families is judged by the *family's* adjacency (torus wrap edges,
+    /// hypercube bit-flips, supernode uplinks), not an assumed line.
+    #[test]
+    fn placement_is_graph_generic_on_families() {
+        use trix_topology::families;
+
+        // Torus: the wrap edge joins index-distant columns 0 and cols-1
+        // on each row — same-layer faults there are NOT 1-local, even
+        // though an index-line view would call them distant.
+        let torus = LayeredGraph::new(families::torus(3, 5).into_graph(), 6);
+        let wrap: HashSet<_> = [torus.node(0, 2), torus.node(4, 2)].into_iter().collect();
+        assert!(torus.base().neighbors(0).contains(&4));
+        assert!(!is_one_local(&torus, &wrap));
+
+        // Hypercube: bit-flip neighbors clash, antipodal nodes do not.
+        let cube = LayeredGraph::new(families::hypercube(3).into_graph(), 4);
+        let flip: HashSet<_> = [cube.node(0, 1), cube.node(4, 1)].into_iter().collect();
+        assert!(!is_one_local(&cube, &flip));
+        let antipodal: HashSet<_> = [cube.node(0, 1), cube.node(7, 1)].into_iter().collect();
+        assert!(is_one_local(&cube, &antipodal));
+
+        // Supernode overlay: a leaf and its *backup* supernode share a
+        // closed neighborhood — 1-locality must see the uplink.
+        let overlay = LayeredGraph::new(families::supernode_overlay(4, 2).into_graph(), 5);
+        let leaf = 4; // first leaf of supernode 0; backup is supernode 1
+        assert!(overlay.base().neighbors(leaf).contains(&1));
+        let uplink: HashSet<_> = [overlay.node(leaf, 2), overlay.node(1, 2)]
+            .into_iter()
+            .collect();
+        assert!(!is_one_local(&overlay, &uplink));
+
+        // Sampling + thinning produce 1-local sets on every family, and
+        // clustered columns stay 1-local (one fault per layer).
+        for g in [&torus, &cube, &overlay] {
+            for seed in 0..4 {
+                let mut rng = Rng::seed_from(seed);
+                let (faults, _) = sample_one_local(g, 0.15, 1, &mut rng);
+                assert!(is_one_local(g, &faults), "seed {seed}");
+            }
+            let stack = clustered_column(g, g.width() - 1, 1, 1, 3);
+            assert!(is_one_local(g, &stack));
+        }
+    }
+
     #[test]
     #[should_panic(expected = "base node index out of range")]
     fn clustered_column_rejects_out_of_range_columns() {

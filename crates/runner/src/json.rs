@@ -37,7 +37,13 @@ use std::fmt::Write as _;
 ///   visible in the record file instead of masquerading as a
 ///   performance regression. Execution-config metadata like
 ///   `sim_threads`: zeroed by [`BenchReport::canonicalized`].
-pub const BENCH_SCHEMA_VERSION: u32 = 5;
+/// * **6** — added the per-record `topology` field: the versioned
+///   topology descriptor of the graph family the scenario ran on
+///   (`null` for the pre-family grid scenarios, which are implicitly
+///   the paper's line-with-replicated-ends layering). Like `campaign`
+///   it describes *what* the scenario computed, so
+///   [`BenchReport::canonicalized`] keeps it.
+pub const BENCH_SCHEMA_VERSION: u32 = 6;
 
 /// Process-wide CPU detection the sweep ran under — the report-level
 /// `parallelism` object of schema v5.
@@ -196,6 +202,13 @@ pub struct BenchRecord {
     /// Unlike `sim_threads`, this describes the *workload*, so it
     /// survives [`BenchReport::canonicalized`].
     pub campaign: Option<String>,
+    /// Versioned topology descriptor of the graph family the scenario
+    /// ran on (schema v6), e.g. `"v1 torus rows=3 cols=4 n=12 m=24
+    /// deg=4..4 D=3"`. `None` identifies the pre-family grid scenarios
+    /// (implicitly the paper's line-with-replicated-ends layering).
+    /// Workload metadata like `campaign`: survives
+    /// [`BenchReport::canonicalized`].
+    pub topology: Option<String>,
     /// Wall-clock seconds the scenario took (volatile; excluded from
     /// determinism comparisons).
     pub wall_secs: f64,
@@ -331,6 +344,12 @@ impl BenchRecord {
             }
             None => out.push_str(", \"campaign\": null"),
         }
+        match &self.topology {
+            Some(t) => {
+                let _ = write!(out, ", \"topology\": \"{}\"", json_escape(t));
+            }
+            None => out.push_str(", \"topology\": null"),
+        }
         let _ = write!(out, ", \"wall_secs\": {}", fmt_json_f64(self.wall_secs));
         out.push('}');
     }
@@ -394,6 +413,7 @@ mod tests {
                 values: ValueStats::of([1.0, 3.0]),
                 skew: None,
                 campaign: None,
+                topology: None,
                 wall_secs: 0.25,
             }],
         }
@@ -402,7 +422,7 @@ mod tests {
     #[test]
     fn json_contains_versioned_schema_and_fields() {
         let j = sample().to_json();
-        assert!(j.contains("\"schema_version\": 5"));
+        assert!(j.contains("\"schema_version\": 6"));
         assert!(j.contains("\"parallelism\": {\"workers\": 4, \"detection_failed\": false}"));
         assert!(j.contains("\"experiment\": \"thm11\""));
         assert!(j.contains("\"params\": {\"width\": \"8\"}"));
@@ -413,7 +433,20 @@ mod tests {
         assert!(j.contains("\"values\": {\"min\": 1, \"max\": 3, \"mean\": 2, \"count\": 2}"));
         assert!(j.contains("\"skew\": null"));
         assert!(j.contains("\"campaign\": null"));
+        assert!(j.contains("\"topology\": null"));
         assert!(j.contains("\"wall_secs\": 0.25"));
+    }
+
+    /// Schema v6: the topology descriptor serializes and survives
+    /// canonicalization — like `campaign`, it describes the workload.
+    #[test]
+    fn topology_descriptor_serializes_and_survives_canonicalization() {
+        let mut r = sample();
+        r.records[0].topology = Some("v1 torus rows=3 cols=4 n=12 m=24 deg=4..4 D=3".into());
+        let j = r.to_json();
+        assert!(j.contains("\"topology\": \"v1 torus rows=3 cols=4 n=12 m=24 deg=4..4 D=3\""));
+        let c = r.canonicalized();
+        assert_eq!(c.records[0].topology, r.records[0].topology);
     }
 
     /// Schema v4: the campaign descriptor serializes (escaped) and

@@ -488,9 +488,12 @@ pub fn run_dataflow_barrier(
     threads: usize,
     obs: &mut impl Observer,
 ) {
-    let width = g.width();
+    // Plan against the derived layering (any family generator's base
+    // graph), not an assumed grid shape.
+    let layout = trix_topology::LayeredView::of(g);
+    let width = layout.max_width();
     let workers = resolve_threads(threads).min(width);
-    if workers <= 1 || g.layer_count() <= 1 || pulses == 0 {
+    if workers <= 1 || layout.layer_count() <= 1 || pulses == 0 {
         run_dataflow_observed(g, env, layer0, rule, sends, pulses, obs);
         return;
     }
@@ -503,11 +506,11 @@ pub fn run_dataflow_barrier(
     let clocks = env.pulse_invariant_clocks();
     // Fixed contiguous column chunks; worker `c` owns `bounds[c]`. The
     // partition never influences results (each column is a pure function
-    // of the previous row), only load balance. `chunk_partition` tiles
+    // of the previous row), only load balance. The view's partition tiles
     // `0..width` exactly with no empty chunks, so the pool is sized by
     // the partition it returns (ceil chunking can need fewer workers
     // than requested: width 5 over 4 workers → 3 chunks of 2).
-    let bounds = trix_topology::chunk_partition(width, workers);
+    let bounds = layout.chunks(workers);
     let workers = bounds.len();
     // The published layer-(ℓ−1) row. Workers hold read locks while
     // evaluating; the driver takes the write lock only between the
@@ -520,7 +523,7 @@ pub fn run_dataflow_barrier(
         .map(|&(lo, hi)| Mutex::new(vec![None; hi - lo]))
         .collect();
     let barrier = Barrier::new(workers);
-    let layer_count = g.layer_count();
+    let layer_count = layout.layer_count();
     // Panic containment. Every compute/publish phase runs under
     // `catch_unwind`; the first payload is stashed here and `aborted` is
     // raised in its place. All threads re-check the flag at the *same*

@@ -222,6 +222,68 @@ proptest! {
         }
     }
 
+    /// The same three-way bit-identity on non-grid family graphs: tori
+    /// and two-tier supernode overlays flow through the serial, frontier,
+    /// and barrier drivers with byte-identical observer streams — the
+    /// layering/chunking is derived from the graph (`LayeredView`), never
+    /// assumed square.
+    #[test]
+    fn family_graphs_are_bit_identical_across_engines(
+        seed in any::<u64>(),
+        rows in 3usize..6,
+        cols in 3usize..6,
+        supernodes in 3usize..6,
+        leaves in 1usize..4,
+        layers in 2usize..6,
+        pulses in 1usize..4,
+        threads in 2usize..5,
+        fault in any::<bool>(),
+    ) {
+        use trix_topology::families;
+        for base in [
+            families::torus(rows, cols).into_graph(),
+            families::supernode_overlay(supernodes, leaves).into_graph(),
+        ] {
+            let g = LayeredGraph::new(base, layers);
+            let mut rng = Rng::seed_from(seed);
+            let env = StaticEnvironment::random(
+                &g,
+                Duration::from(10.0),
+                Duration::from(2.0),
+                1.05,
+                &mut rng,
+            );
+            let offsets = (0..g.width()).map(|_| rng.f64_in(0.0, 3.0)).collect();
+            let layer0 = OffsetLayer0::new(25.0, offsets);
+            let bad = g.node(
+                rng.usize_below(g.width()),
+                1 + rng.usize_below(g.layer_count() - 1),
+            );
+            let silence = Silence(if fault { bad } else { g.node(0, 0) });
+            // Layer-0 nodes are never silenced by construction here when
+            // `fault` is off (Silence only bites on layers >= 1 sends
+            // when the node matches; (0,0) only affects its own sends).
+            let mut serial = EventLog::default();
+            trix_sim::metrics::reset();
+            run_dataflow_observed(&g, &env, &layer0, &MaxPlus, &silence, pulses, &mut serial);
+            let serial_events = trix_sim::metrics::total();
+            let mut frontier = EventLog::default();
+            trix_sim::metrics::reset();
+            run_dataflow_parallel(
+                &g, &env, &layer0, &MaxPlus, &silence, pulses, threads, &mut frontier,
+            );
+            prop_assert_eq!(trix_sim::metrics::total(), serial_events);
+            let mut barrier = EventLog::default();
+            trix_sim::metrics::reset();
+            run_dataflow_barrier(
+                &g, &env, &layer0, &MaxPlus, &silence, pulses, threads, &mut barrier,
+            );
+            prop_assert_eq!(trix_sim::metrics::total(), serial_events);
+            prop_assert_eq!(&serial, &frontier);
+            prop_assert_eq!(&serial, &barrier);
+        }
+    }
+
     /// DES delivery: messages arrive exactly delay later, in order.
     #[test]
     fn des_delivery_order(d1 in 1.0f64..50.0, d2 in 1.0f64..50.0) {

@@ -1,6 +1,6 @@
 //! Base graphs `H` (paper §2, Figure 2).
 
-use std::collections::VecDeque;
+use crate::CsrGraph;
 
 /// A simple, connected, undirected base graph `H = (V, E)`.
 ///
@@ -11,15 +11,16 @@ use std::collections::VecDeque;
 /// [`BaseGraph::min_degree`] and [`BaseGraph::validate_for_gcs`] make the
 /// requirement checkable.
 ///
-/// Nodes are identified by `usize` indices `0..node_count()`. Neighbor lists
-/// are kept sorted so that iteration order — and therefore every simulation —
-/// is deterministic.
+/// Nodes are identified by `usize` indices `0..node_count()`. Structurally
+/// this is a [`CsrGraph`] (sorted rows, so iteration order — and therefore
+/// every simulation — is deterministic) plus the eagerly materialized
+/// all-pairs distance matrix that the ancestor-cone queries
+/// ([`crate::distance_ancestors`]) need in their inner loop.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BaseGraph {
-    adjacency: Vec<Vec<usize>>,
-    /// All-pairs hop distances, row-major; `usize::MAX` = unreachable.
+    csr: CsrGraph,
+    /// All-pairs hop distances, row-major.
     distances: Vec<u32>,
-    diameter: u32,
 }
 
 impl BaseGraph {
@@ -32,27 +33,19 @@ impl BaseGraph {
     /// Panics if `n == 0`, an endpoint is out of range, an edge is a
     /// self-loop or duplicated, or the graph is disconnected.
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
-        assert!(n > 0, "base graph must have at least one node");
-        let mut adjacency = vec![Vec::new(); n];
-        for &(a, b) in edges {
-            assert!(a < n && b < n, "edge endpoint out of range: ({a}, {b})");
-            assert_ne!(a, b, "self-loops are not allowed");
-            adjacency[a].push(b);
-            adjacency[b].push(a);
+        Self::from_csr(CsrGraph::from_edges(n, edges))
+    }
+
+    /// Wraps an already-validated [`CsrGraph`], materializing the all-pairs
+    /// distance matrix (`O(n²)` memory — the price of constant-time
+    /// [`BaseGraph::distance`] queries).
+    pub fn from_csr(csr: CsrGraph) -> Self {
+        let n = csr.node_count();
+        let mut distances = Vec::with_capacity(n * n);
+        for src in 0..n {
+            distances.extend_from_slice(&csr.bfs_distances(src));
         }
-        for list in &mut adjacency {
-            list.sort_unstable();
-            let len_before = list.len();
-            list.dedup();
-            assert_eq!(len_before, list.len(), "duplicate edge in base graph");
-        }
-        let (distances, diameter) = all_pairs_bfs(&adjacency);
-        assert!(diameter != u32::MAX, "base graph must be connected");
-        Self {
-            adjacency,
-            distances,
-            diameter,
-        }
+        Self { csr, distances }
     }
 
     /// The paper's base graph (Figure 2): a line of `line_len` nodes whose
@@ -137,15 +130,23 @@ impl BaseGraph {
         Self::from_edges(n, &edges)
     }
 
+    /// The underlying CSR representation (no distance matrix) — what the
+    /// family generators in [`crate::families`] produce and what
+    /// memory-conscious consumers should hold.
+    #[inline]
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
     /// Number of nodes `|V|`.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.adjacency.len()
+        self.csr.node_count()
     }
 
     /// Number of undirected edges `|E|`.
     pub fn edge_count(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+        self.csr.edge_count()
     }
 
     /// Sorted neighbors of `v`.
@@ -155,23 +156,23 @@ impl BaseGraph {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn neighbors(&self, v: usize) -> &[usize] {
-        &self.adjacency[v]
+        self.csr.neighbors(v)
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: usize) -> usize {
-        self.adjacency[v].len()
+        self.csr.degree(v)
     }
 
     /// Minimum degree over all nodes.
     pub fn min_degree(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).min().unwrap_or(0)
+        self.csr.min_degree()
     }
 
     /// Maximum degree over all nodes.
     pub fn max_degree(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+        self.csr.max_degree()
     }
 
     /// Hop distance `d(v, w)` in `H`.
@@ -183,7 +184,7 @@ impl BaseGraph {
     /// The diameter `D` of `H`.
     #[inline]
     pub fn diameter(&self) -> u32 {
-        self.diameter
+        self.csr.diameter()
     }
 
     /// Checks the paper's structural requirement (§2): connected, minimum
@@ -204,41 +205,8 @@ impl BaseGraph {
 
     /// Iterates over all undirected edges `(a, b)` with `a < b`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.adjacency
-            .iter()
-            .enumerate()
-            .flat_map(|(a, ns)| ns.iter().filter(move |&&b| a < b).map(move |&b| (a, b)))
+        self.csr.edges()
     }
-}
-
-/// Computes all-pairs BFS distances and the diameter.
-fn all_pairs_bfs(adjacency: &[Vec<usize>]) -> (Vec<u32>, u32) {
-    let n = adjacency.len();
-    let mut distances = vec![u32::MAX; n * n];
-    let mut diameter = 0u32;
-    let mut queue = VecDeque::new();
-    for src in 0..n {
-        let row = &mut distances[src * n..(src + 1) * n];
-        row[src] = 0;
-        queue.clear();
-        queue.push_back(src);
-        while let Some(u) = queue.pop_front() {
-            let du = row[u];
-            for &w in &adjacency[u] {
-                if row[w] == u32::MAX {
-                    row[w] = du + 1;
-                    queue.push_back(w);
-                }
-            }
-        }
-        for &dist in row.iter() {
-            if dist == u32::MAX {
-                return (distances, u32::MAX);
-            }
-            diameter = diameter.max(dist);
-        }
-    }
-    (distances, diameter)
 }
 
 #[cfg(test)]
@@ -365,6 +333,19 @@ mod tests {
     #[should_panic(expected = "connected")]
     fn rejects_disconnected() {
         let _ = BaseGraph::from_edges(4, &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_structure() {
+        let g = BaseGraph::line_with_replicated_ends(5);
+        let rebuilt = BaseGraph::from_csr(g.csr().clone());
+        assert_eq!(g, rebuilt);
+        assert_eq!(g.csr().diameter(), g.diameter());
+        assert_eq!(g.csr().edge_count(), g.edge_count());
+        for v in 0..g.node_count() {
+            assert_eq!(g.csr().neighbors(v), g.neighbors(v));
+            assert_eq!(g.csr().bfs_distances(v)[0], g.distance(v, 0));
+        }
     }
 
     #[test]

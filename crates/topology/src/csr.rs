@@ -1,0 +1,258 @@
+//! The general CSR graph core every topology family lowers to.
+//!
+//! [`CsrGraph`] is the substrate beneath [`crate::BaseGraph`]: a simple,
+//! connected, undirected graph stored as two flat arrays (row offsets +
+//! concatenated sorted neighbor lists), with its diameter computed at
+//! construction by a memory-bounded BFS sweep. Everything a generator
+//! produces — tori, hypercubes, random-geometric graphs, pod meshes,
+//! supernode overlays (see [`crate::families`]) — is validated and
+//! canonicalized here, which is what makes the three-legged determinism
+//! contract independent of *which* family a sweep runs on: neighbor
+//! iteration order is the sorted CSR row order, full stop.
+
+use std::collections::VecDeque;
+
+/// A simple, connected, undirected graph in compressed-sparse-row form.
+///
+/// Nodes are `usize` indices `0..node_count()`; each row of the CSR table
+/// is sorted, so neighbor iteration — and therefore every simulation
+/// driven by this graph — is deterministic by construction.
+///
+/// Unlike [`crate::BaseGraph`] (which additionally materializes the
+/// all-pairs distance matrix for ancestor-cone queries), a `CsrGraph`
+/// keeps only `O(n + m)` state; single-source distances are available
+/// on demand via [`CsrGraph::bfs_distances`].
+///
+/// # Examples
+///
+/// ```
+/// use trix_topology::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 4);
+/// assert_eq!(g.neighbors(0), &[1, 3]);
+/// assert_eq!(g.diameter(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// Row bounds: node `v`'s neighbors are
+    /// `targets[offsets[v] .. offsets[v + 1]]`.
+    offsets: Vec<usize>,
+    /// Concatenated neighbor lists, sorted within each row.
+    targets: Vec<usize>,
+    /// The diameter, computed once at construction.
+    diameter: u32,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from an undirected edge list over `n` nodes.
+    ///
+    /// Self-loops and duplicate edges are rejected; the graph must be
+    /// connected (the layered synchronization DAG of a disconnected base
+    /// graph would fall apart into independent components with unbounded
+    /// mutual skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, an endpoint is out of range, an edge is a
+    /// self-loop or duplicated, or the graph is disconnected.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        assert!(n > 0, "base graph must have at least one node");
+        let mut adjacency = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge endpoint out of range: ({a}, {b})");
+            assert_ne!(a, b, "self-loops are not allowed");
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * edges.len());
+        offsets.push(0);
+        for list in &mut adjacency {
+            list.sort_unstable();
+            let len_before = list.len();
+            list.dedup();
+            assert_eq!(len_before, list.len(), "duplicate edge in base graph");
+            targets.extend_from_slice(list);
+            offsets.push(targets.len());
+        }
+        let mut g = Self {
+            offsets,
+            targets,
+            diameter: 0,
+        };
+        g.diameter = g.compute_diameter().expect("base graph must be connected");
+        g
+    }
+
+    /// BFS sweep over all sources with one reusable `O(n)` distance
+    /// buffer; `None` if the graph is disconnected.
+    fn compute_diameter(&self) -> Option<u32> {
+        let n = self.node_count();
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        let mut diameter = 0u32;
+        for src in 0..n {
+            dist.fill(u32::MAX);
+            self.bfs_into(src, &mut dist, &mut queue);
+            for &d in &dist {
+                if d == u32::MAX {
+                    return None;
+                }
+                diameter = diameter.max(d);
+            }
+        }
+        Some(diameter)
+    }
+
+    fn bfs_into(&self, src: usize, dist: &mut [u32], queue: &mut VecDeque<usize>) {
+        dist[src] = 0;
+        queue.clear();
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u];
+            for &w in self.neighbors(u) {
+                if dist[w] == u32::MAX {
+                    dist[w] = du + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+
+    /// Single-source BFS hop distances from `src` (`O(n)` memory, computed
+    /// on demand — the graph stores no distance matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn bfs_distances(&self, src: usize) -> Vec<u32> {
+        assert!(src < self.node_count(), "source out of range");
+        let mut dist = vec![u32::MAX; self.node_count()];
+        let mut queue = VecDeque::new();
+        self.bfs_into(src, &mut dist, &mut queue);
+        dist
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Sorted neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Minimum degree over all nodes.
+    pub fn min_degree(&self) -> usize {
+        (0..self.node_count())
+            .map(|v| self.degree(v))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The diameter `D`.
+    #[inline]
+    pub fn diameter(&self) -> u32 {
+        self.diameter
+    }
+
+    /// Iterates over all undirected edges `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.node_count()).flat_map(move |a| {
+            self.neighbors(a)
+                .iter()
+                .filter(move |&&b| a < b)
+                .map(move |&b| (a, b))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_in_csr_form() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.min_degree(), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.diameter(), 2);
+        assert_eq!(g.neighbors(0), &[1, 4]);
+        assert_eq!(g.edges().count(), 5);
+    }
+
+    #[test]
+    fn bfs_distances_match_structure() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+        assert_eq!(g.diameter(), 3);
+    }
+
+    #[test]
+    fn rows_are_sorted_regardless_of_input_order() {
+        let g = CsrGraph::from_edges(4, &[(3, 0), (0, 2), (2, 1), (1, 3), (0, 1)]);
+        for v in 0..4 {
+            let ns = g.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let _ = CsrGraph::from_edges(2, &[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate_edge() {
+        let _ = CsrGraph::from_edges(2, &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn rejects_disconnected() {
+        let _ = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn single_node_graph_is_degenerate_but_valid() {
+        let g = CsrGraph::from_edges(1, &[]);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.diameter(), 0);
+        assert!(g.neighbors(0).is_empty());
+    }
+}

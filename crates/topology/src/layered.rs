@@ -48,7 +48,7 @@ pub struct InEdge {
 ///
 /// The boundary between any two consecutive layers is identical (every
 /// layer is a copy of the base graph), so one table serves the whole
-/// layered graph: the dataflow executor builds it once per run and the
+/// layered graph: each dataflow driver builds it once per run and the
 /// inner loop becomes a contiguous scan instead of re-deriving
 /// [`LayeredGraph::own_in_edge`] / [`LayeredGraph::neighbor_in_edge`] and
 /// re-pushing neighbor lists per node.
@@ -57,6 +57,12 @@ pub struct InEdge {
 /// `(w, ℓ≥1)`: slot 0 is the "own" edge from `(w, ℓ−1)`, slots `1..` the
 /// neighbor edges in sorted base-graph neighbor order — exactly the order
 /// [`LayeredGraph::predecessors`] yields.
+///
+/// For the parallel drivers, [`InEdgeCsr::boundary_preds`] **is the
+/// scheduling contract**: a column chunk may advance to layer `ℓ` exactly
+/// when every column it returns has published layer `ℓ − 1`. The frontier
+/// driver precomputes these per-chunk dependency lists and tracks per-chunk
+/// progress against them; there is no global layer barrier anymore.
 ///
 /// # Examples
 ///
@@ -188,6 +194,102 @@ pub fn chunk_partition(width: usize, chunks: usize) -> Vec<(usize, usize)> {
     (0..count)
         .map(|c| (c * size, ((c + 1) * size).min(width)))
         .collect()
+}
+
+/// The derived layering/width summary of a layered graph — what the
+/// parallel dataflow drivers plan against instead of assuming "square
+/// grid of width `w`".
+///
+/// Layer structure is *derived from the graph*, not assumed: the view
+/// records the number of layers, the width of each layer, and the base
+/// graph's diameter (which parameterizes the Theorem 1.1 skew envelope
+/// `4κ(2 + log₂ D)`). Today every [`LayeredGraph`] replicates its base
+/// graph on each layer, so all widths are equal and
+/// [`LayeredView::is_uniform`] holds; schedulers that size their chunk
+/// partition from [`LayeredView::chunks`] keep working unchanged if a
+/// future layering makes widths vary (chunks are cut from the maximum
+/// width, and a narrower layer simply leaves trailing chunks empty).
+///
+/// # Examples
+///
+/// ```
+/// use trix_topology::{families, LayeredGraph, LayeredView};
+///
+/// let g = LayeredGraph::new(families::hypercube(3).into_graph(), 5);
+/// let view = LayeredView::of(&g);
+/// assert_eq!(view.layer_count(), 5);
+/// assert_eq!(view.max_width(), 8);
+/// assert_eq!(view.diameter(), 3);
+/// assert!(view.is_uniform());
+/// assert_eq!(view.node_count(), g.node_count());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LayeredView {
+    layer_count: usize,
+    layer_widths: Vec<usize>,
+    diameter: u32,
+}
+
+impl LayeredView {
+    /// Derives the view of a layered graph.
+    pub fn of(g: &LayeredGraph) -> Self {
+        Self {
+            layer_count: g.layer_count(),
+            layer_widths: vec![g.width(); g.layer_count()],
+            diameter: g.base().diameter(),
+        }
+    }
+
+    /// Number of layers.
+    #[inline]
+    pub fn layer_count(&self) -> usize {
+        self.layer_count
+    }
+
+    /// Width of layer `ℓ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    #[inline]
+    pub fn width_of(&self, layer: usize) -> usize {
+        self.layer_widths[layer]
+    }
+
+    /// The widest layer — the column range chunk partitions are cut from.
+    pub fn max_width(&self) -> usize {
+        self.layer_widths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether every layer has the same width (true for every
+    /// [`LayeredGraph`], which replicates its base graph per layer).
+    pub fn is_uniform(&self) -> bool {
+        self.layer_widths.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Total node count, summed over the actual per-layer widths.
+    pub fn node_count(&self) -> usize {
+        self.layer_widths.iter().sum()
+    }
+
+    /// The base graph's diameter `D` — the size parameter of the
+    /// Theorem 1.1 envelope `4κ(2 + log₂ D)`, replacing grid width as
+    /// the universal size axis.
+    #[inline]
+    pub fn diameter(&self) -> u32 {
+        self.diameter
+    }
+
+    /// The canonical chunk partition for at most `workers` workers: cut
+    /// from the maximum layer width via [`chunk_partition`], so one
+    /// partition serves every layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or the view has no columns.
+    pub fn chunks(&self, workers: usize) -> Vec<(usize, usize)> {
+        chunk_partition(self.max_width(), workers)
+    }
 }
 
 /// Dense index of a directed edge of the layered graph.
@@ -372,6 +474,14 @@ impl LayeredGraph {
 
     /// Builds the flattened [`InEdgeCsr`] in-edge table (one boundary's
     /// worth; see its docs for how global [`EdgeId`]s are reconstructed).
+    ///
+    /// For parallel execution, the table's [`InEdgeCsr::boundary_preds`]
+    /// defines the cross-chunk dependency contract: a chunk `lo .. hi`
+    /// may compute layer `ℓ` once every column in
+    /// `boundary_preds(lo, hi)` has published layer `ℓ − 1`. A chunk with
+    /// no external predecessors (e.g. the single chunk of a width-1
+    /// graph, or a full-width chunk) depends on nothing outside itself
+    /// and may free-run through all layers.
     pub fn in_edge_csr(&self) -> InEdgeCsr {
         InEdgeCsr::build(self)
     }
@@ -570,6 +680,38 @@ mod tests {
             // A full-width chunk has no external boundary.
             assert!(csr.boundary_preds(0, g.width()).is_empty());
         }
+    }
+
+    /// The documented boundary contract on a 1-wide graph: the single
+    /// full-width chunk has no external predecessors, so a frontier
+    /// scheduler may free-run it through every layer.
+    #[test]
+    fn boundary_preds_on_one_wide_graph_are_empty() {
+        let g = LayeredGraph::new(BaseGraph::from_edges(1, &[]), 4);
+        assert_eq!(g.width(), 1);
+        let csr = g.in_edge_csr();
+        assert_eq!(csr.width(), 1);
+        // The only in-edge of (0, ℓ) is its own edge from (0, ℓ−1).
+        let row = csr.in_edges(0);
+        assert_eq!(row.len(), 1);
+        assert_eq!(row[0].pred, 0);
+        assert!(csr.boundary_preds(0, 1).is_empty());
+        assert_eq!(chunk_partition(1, 8), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn layered_view_derives_structure() {
+        let g = sample();
+        let view = LayeredView::of(&g);
+        assert_eq!(view.layer_count(), g.layer_count());
+        assert_eq!(view.max_width(), g.width());
+        assert_eq!(view.node_count(), g.node_count());
+        assert_eq!(view.diameter(), g.base().diameter());
+        assert!(view.is_uniform());
+        for l in 0..view.layer_count() {
+            assert_eq!(view.width_of(l), g.width());
+        }
+        assert_eq!(view.chunks(3), chunk_partition(g.width(), 3));
     }
 
     #[test]

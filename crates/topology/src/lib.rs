@@ -14,11 +14,18 @@
 //!
 //! This crate provides:
 //!
-//! * [`BaseGraph`] plus constructors ([`BaseGraph::line_with_replicated_ends`],
-//!   [`BaseGraph::cycle`], [`BaseGraph::path`], [`BaseGraph::from_edges`]),
-//!   BFS distances and diameter;
+//! * [`CsrGraph`] — the general compressed-sparse-row core every topology
+//!   family lowers to (sorted rows, diameter at construction);
+//! * [`BaseGraph`] — a `CsrGraph` plus the all-pairs distance matrix, with
+//!   constructors ([`BaseGraph::line_with_replicated_ends`],
+//!   [`BaseGraph::cycle`], [`BaseGraph::path`], [`BaseGraph::from_edges`]);
+//! * [`families`] — deterministic generators for tori, hypercubes, seeded
+//!   random-geometric graphs, sparse interleaved pods, and two-tier
+//!   supernode overlays, each stamped with a versioned topology descriptor;
 //! * [`LayeredGraph`] — the DAG `G`, with stable edge indices for per-edge
-//!   delay assignment;
+//!   delay assignment, and [`LayeredView`] — the derived layering/width
+//!   summary (per-layer widths, diameter, chunk partitions) the parallel
+//!   dataflow engines plan against;
 //! * distance-δ ancestor enumeration and the *distance-δ k-faulty*
 //!   classification (Definitions 4.32/4.33), used by the Theorem 1.3
 //!   experiments;
@@ -36,16 +43,33 @@
 //! let preds: Vec<_> = g.predecessors(g.node(1, 3)).collect();
 //! assert_eq!(preds.len(), g.base().degree(3) + 1);
 //! ```
+//!
+//! Non-grid families come from [`families`] and flow through the same
+//! layered construction:
+//!
+//! ```
+//! use trix_topology::{families, LayeredGraph, LayeredView};
+//!
+//! let torus = families::torus(3, 3);
+//! assert_eq!(torus.graph().diameter(), 2);
+//! let g = LayeredGraph::new(torus.graph().clone(), 6);
+//! let view = LayeredView::of(&g);
+//! assert_eq!(view.layer_count(), 6);
+//! assert_eq!(view.max_width(), 9);
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod ancestors;
 mod base;
+mod csr;
+pub mod families;
 mod hex;
 mod layered;
 
 pub use ancestors::{distance_ancestors, distance_k_faulty, max_k_faulty};
 pub use base::BaseGraph;
+pub use csr::CsrGraph;
 pub use hex::{HexGrid, HexNodeId};
-pub use layered::{chunk_partition, EdgeId, InEdge, InEdgeCsr, LayeredGraph, NodeId};
+pub use layered::{chunk_partition, EdgeId, InEdge, InEdgeCsr, LayeredGraph, LayeredView, NodeId};

@@ -1,7 +1,7 @@
 //! Property tests for graph invariants.
 
 use proptest::prelude::*;
-use trix_topology::{distance_ancestors, BaseGraph, LayeredGraph};
+use trix_topology::{chunk_partition, distance_ancestors, families, BaseGraph, LayeredGraph};
 
 proptest! {
     /// Line-with-replicated-ends: size, degree, and diameter invariants
@@ -60,6 +60,69 @@ proptest! {
             }
         }
         prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Generator determinism (clause 1 of the topology contract): the
+    /// same arguments produce a byte-identical CSR — equal rows, equal
+    /// descriptor — and the result satisfies the §2 validity clause.
+    #[test]
+    fn generators_are_deterministic_and_valid(
+        rows in 3usize..8,
+        cols in 3usize..8,
+        dim in 2u32..6,
+        n in 8usize..24,
+        k in 2usize..4,
+        seed in any::<u64>(),
+        pods in 3usize..7,
+        pod_size in 2usize..5,
+        supernodes in 3usize..7,
+        leaves in 1usize..4,
+    ) {
+        let make = |which: usize| match which {
+            0 => families::torus(rows, cols),
+            1 => families::hypercube(dim),
+            2 => families::random_geometric(n, k, seed),
+            3 => families::octopus_pods(pods, pod_size),
+            _ => families::supernode_overlay(supernodes, leaves),
+        };
+        for which in 0..5 {
+            let (a, b) = (make(which), make(which));
+            prop_assert_eq!(&a, &b, "family {} must be reproducible", which);
+            let g = a.graph();
+            prop_assert_eq!(g.csr(), b.graph().csr());
+            prop_assert!(g.validate_for_gcs().is_ok(), "family {}", which);
+            prop_assert!(g.diameter() >= 1);
+            for v in 0..g.node_count() {
+                let ns = g.neighbors(v);
+                prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted rows");
+            }
+        }
+    }
+
+    /// Chunk partitions stay valid on *non-uniform* layer widths: the
+    /// partition is cut from the maximum width, and clamping each chunk
+    /// to a narrower layer still tiles that layer exactly with no
+    /// overlaps (trailing chunks simply become empty).
+    #[test]
+    fn chunk_partition_valid_on_nonuniform_widths(
+        widths in proptest::collection::vec(1usize..40, 1..8),
+        workers in 1usize..9,
+    ) {
+        let max_width = *widths.iter().max().unwrap();
+        let parts = chunk_partition(max_width, workers);
+        prop_assert!(parts.len() <= workers);
+        for &layer_width in &widths {
+            let clamped: Vec<(usize, usize)> = parts
+                .iter()
+                .map(|&(lo, hi)| (lo.min(layer_width), hi.min(layer_width)))
+                .filter(|&(lo, hi)| lo < hi)
+                .collect();
+            prop_assert_eq!(clamped.first().map(|c| c.0), Some(0));
+            prop_assert_eq!(clamped.last().map(|c| c.1), Some(layer_width));
+            for pair in clamped.windows(2) {
+                prop_assert_eq!(pair[0].1, pair[1].0, "contiguous tiling");
+            }
+        }
     }
 
     /// Ancestor cones: every claimed ancestor is reachable (distance

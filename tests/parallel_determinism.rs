@@ -46,9 +46,10 @@ fn sweep_fingerprint_sim(
         h.write_u64(record.rows as u64);
         h.write_u64(record.events);
         h.write_u64(record.fingerprint);
-        // Schema v4: the campaign descriptor is part of what the
-        // scenario computed.
+        // Schema v4/v6: the campaign and topology descriptors are part
+        // of what the scenario computed.
         h.write_str(record.campaign.as_deref().unwrap_or(""));
+        h.write_str(record.topology.as_deref().unwrap_or(""));
     }
     h.finish()
 }

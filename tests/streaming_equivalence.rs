@@ -15,9 +15,10 @@ use gradient_trix::obs::SkewStats;
 use gradient_trix::sim::{CorrectSends, SendModel};
 use gradient_trix::topology::LayeredGraph;
 use trix_bench::common::{
-    grid, merge_snapshots, run_gradient_trix, standard_params, streaming_monitor,
+    grid, merge_snapshots, run_gradient_trix, run_gradient_trix_graph, standard_params,
+    streaming_monitor,
 };
-use trix_bench::{exp_fault_sweep, run_suite, Scale, TraceMode};
+use trix_bench::{exp_fault_sweep, exp_topology, run_suite, Scale, TraceMode};
 use trix_runner::BenchRecord;
 
 /// Batch recomputation of a [`SkewStats`] snapshot from a full trace,
@@ -28,6 +29,25 @@ fn post_hoc_stats(g: &LayeredGraph, pulses: usize, seed: u64, sends: &impl SendM
     let p = standard_params();
     let rule = GradientTrixRule::new(p);
     let (trace, _) = run_gradient_trix(g, &p, &rule, sends, pulses, seed);
+    post_hoc_stats_from_trace(g, pulses, &trace)
+}
+
+/// [`post_hoc_stats`] for `exp_topology` records: same batch
+/// recomputation, but the trace comes from the graph-generic runner
+/// (BFS-forest layer 0) — the source the family sweep streams with.
+fn post_hoc_graph_stats(g: &LayeredGraph, pulses: usize, seed: u64) -> SkewStats {
+    let p = standard_params();
+    let rule = GradientTrixRule::new(p);
+    let (trace, _) = run_gradient_trix_graph(g, &p, &rule, &CorrectSends, pulses, seed);
+    post_hoc_stats_from_trace(g, pulses, &trace)
+}
+
+fn post_hoc_stats_from_trace(
+    g: &LayeredGraph,
+    pulses: usize,
+    trace: &gradient_trix::sim::PulseTrace,
+) -> SkewStats {
+    let p = standard_params();
     // The suite's standard monitor shape (κ/2 bins): recompute the
     // histogram the same way the observer bins per-pulse maxima.
     let reference = streaming_monitor(g, &p);
@@ -44,15 +64,15 @@ fn post_hoc_stats(g: &LayeredGraph, pulses: usize, seed: u64, sends: &impl SendM
         let mut pulse_intra: Option<f64> = None;
         let mut pulse_global: Option<f64> = None;
         for layer in 0..g.layer_count() {
-            if let Some(s) = intra_layer_skew(g, &trace, k, layer) {
+            if let Some(s) = intra_layer_skew(g, trace, k, layer) {
                 let s = s.as_f64();
                 pulse_intra = Some(pulse_intra.map_or(s, |w| w.max(s)));
             }
-            if let Some(s) = global_skew(g, &trace, k, layer) {
+            if let Some(s) = global_skew(g, trace, k, layer) {
                 let s = s.as_f64();
                 pulse_global = Some(pulse_global.map_or(s, |w| w.max(s)));
             }
-            if let Some(s) = inter_layer_skew(g, &trace, k, layer) {
+            if let Some(s) = inter_layer_skew(g, trace, k, layer) {
                 max_inter = max_inter.max(s.as_f64());
             }
         }
@@ -114,14 +134,25 @@ fn suite_streaming_stats_equal_post_hoc_for_any_thread_count() {
             .skew
             .as_ref()
             .unwrap_or_else(|| panic!("{}/{}: no skew stats", record.experiment, record.scenario));
-        let width = param(record, "width").expect("width param");
-        let layers = param(record, "layers").unwrap_or(width); // exp_scale & fault sweep: square
         let pulses = param(record, "pulses").expect("pulses param");
-        let g = grid(width, layers);
         let snaps: Vec<SkewStats> = record
             .seeds
             .iter()
             .map(|&seed| {
+                if record.experiment == "exp_topology" {
+                    // Family scenarios (schema v6 stamps the versioned
+                    // topology descriptor): rebuild the identical graph
+                    // from the record's params and replay through the
+                    // graph-generic trace-backed path.
+                    assert!(record.topology.is_some(), "topology records are stamped");
+                    let point = exp_topology::point_from_params(&record.params)
+                        .expect("sweep point from params");
+                    let g = exp_topology::layered(&point);
+                    return post_hoc_graph_stats(&g, pulses, seed);
+                }
+                let width = param(record, "width").expect("width param");
+                let layers = param(record, "layers").unwrap_or(width); // exp_scale & fault sweep: square
+                let g = grid(width, layers);
                 if record.experiment == "exp_fault_sweep" {
                     // Campaign scenarios (schema v4 stamps the
                     // descriptor): reconstruct the identical adversary
@@ -147,16 +178,16 @@ fn suite_streaming_stats_equal_post_hoc_for_any_thread_count() {
 }
 
 /// The new schema round-trips through disk: the written
-/// `BENCH_exp_scale.json` re-reads byte-identically and carries the v5
+/// `BENCH_exp_scale.json` re-reads byte-identically and carries the v6
 /// version tag, the parallelism stamp, the `sim_threads` execution
 /// metadata, and the streamed statistics.
 #[test]
-fn exp_scale_record_round_trips_schema_v5() {
+fn exp_scale_record_round_trips_schema_v6() {
     let outcome = run_suite(Scale::Smoke, 7, 2, TraceMode::NoTrace, 2);
     let report = outcome.report.filtered("exp_scale");
     assert!(!report.records.is_empty());
     let json = report.to_json();
-    assert!(json.contains("\"schema_version\": 5"));
+    assert!(json.contains("\"schema_version\": 6"));
     // Schema v5: the report is stamped with the process's actual CPU
     // detection (the harness can't masquerade a failed detection as a
     // perf regression).
@@ -176,6 +207,15 @@ fn exp_scale_record_round_trips_schema_v5() {
     assert!(sweep
         .to_json()
         .contains("\"campaign\": \"iid c=1.00 silent w=12\""));
+    // Schema v6: grid experiments truthfully carry a null topology; the
+    // family sweep stamps its versioned descriptors.
+    assert!(json.contains("\"topology\": null"));
+    let topo = outcome.report.filtered("exp_topology");
+    assert!(!topo.records.is_empty());
+    assert!(topo.records.iter().all(|r| r.topology.is_some()));
+    assert!(topo
+        .to_json()
+        .contains("\"topology\": \"v1 torus rows=3 cols=4 n=12 m=24 deg=4..4 D=3\""));
     let path = std::env::temp_dir().join("BENCH_exp_scale_roundtrip.json");
     std::fs::write(&path, &json).expect("write");
     let back = std::fs::read_to_string(&path).expect("read");
