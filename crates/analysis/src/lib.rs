@@ -7,6 +7,10 @@
 //!   (Definition 4.1) driving the analysis;
 //! * [`theory`] — every theorem's bound as an executable formula for
 //!   measured-vs-predicted comparisons;
+//! * [`ModeProbe`] / [`ModeReport`] — mode analytics over a
+//!   `trix_obs::PodSketch` snapshot: dominant skew modes, per-mode
+//!   spatial origin, wave-velocity estimates, and the *measured*
+//!   reconstruction error the sketch's certificate must dominate;
 //! * [`Table`] / [`Summary`] — result rendering for the experiment
 //!   harness.
 //!
@@ -32,12 +36,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod modes;
 mod plot;
 mod potential;
 mod skew;
 mod table;
 pub mod theory;
 
+pub use modes::{ModeProbe, ModeReport, ModeSummary};
 pub use plot::ascii_chart;
 pub use potential::{observation_4_2_holds, psi, psi_by_layer, xi};
 pub use skew::{

@@ -9,7 +9,7 @@ use std::hint::black_box;
 use trix_core::{
     correction, CorrectionConfig, GradientTrixRule, GridNetwork, GridNodeConfig, Layer0Line, Params,
 };
-use trix_obs::{DesSkew, StreamingSkew};
+use trix_obs::{DesSkew, PodSketch, StreamingSkew};
 use trix_sim::{
     run_dataflow, run_dataflow_barrier, run_dataflow_observed, run_dataflow_parallel, CorrectSends,
     Environment, EventQueue, NullObserver, Rng, StaticEnvironment,
@@ -175,6 +175,101 @@ fn bench_observer_overhead(c: &mut Criterion) {
             black_box(skew.full_local_skew())
         })
     });
+    group.finish();
+}
+
+/// POD-sketch overhead on both engine hot loops (ISSUE: target < 10%
+/// over the no-op observer at rank 16).
+///
+/// * `dataflow_noop` — `run_dataflow_observed` with [`NullObserver`]
+///   (the baseline the sketch rides on), on the width-192 square grid
+///   the `dataflow_parallel` group measures (wide enough that the
+///   width-independent Jacobi flush amortizes the way it does at
+///   `--no-trace` scale);
+/// * `dataflow_sketch_r{4,16}` — the same loop streaming into a
+///   [`PodSketch`] at rank 4 / 16, `finish`ed so deferred flush work is
+///   charged to the measurement;
+/// * `des_noop` / `des_sketch_r{4,16}` — the DES engine's
+///   `run_observed` with the same observer pair
+///   ([`PodSketch::for_des_grid`] over the broadcast stream).
+///
+/// Measured numbers are recorded in README.md §Trace compression.
+fn bench_sketch_overhead(c: &mut Criterion) {
+    let p = params();
+    let mut group = c.benchmark_group("sketch_overhead");
+    group.sample_size(10);
+
+    let width = 192;
+    let gd = LayeredGraph::new(BaseGraph::line_with_replicated_ends(width), width);
+    let mut rng = Rng::seed_from(5);
+    let env = StaticEnvironment::random(&gd, p.d(), p.u(), p.theta(), &mut rng);
+    let layer0 = Layer0Line::random_for_line(&p, gd.width(), &mut rng);
+    let rule = GradientTrixRule::new(p);
+    let pulses = 2;
+    group.bench_function("dataflow_noop", |b| {
+        b.iter(|| {
+            run_dataflow_observed(
+                &gd,
+                &env,
+                &layer0,
+                &rule,
+                &CorrectSends,
+                pulses,
+                &mut NullObserver,
+            );
+            black_box(())
+        })
+    });
+    for rank in [4usize, 16] {
+        group.bench_function(&format!("dataflow_sketch_r{rank}"), |b| {
+            b.iter(|| {
+                let mut sketch = PodSketch::new(&gd, rank);
+                run_dataflow_observed(
+                    &gd,
+                    &env,
+                    &layer0,
+                    &rule,
+                    &CorrectSends,
+                    pulses,
+                    &mut sketch,
+                );
+                sketch.finish();
+                black_box(sketch.snapshot().rows)
+            })
+        });
+    }
+
+    let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(6), 6);
+    let build = || {
+        let mut rng = Rng::seed_from(7);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let cfg = GridNodeConfig::standard(p, g.base().diameter());
+        GridNetwork::build(&g, &p, &env, cfg, 10, &mut rng, |_, _| None)
+    };
+    group.bench_function("des_noop", |b| {
+        b.iter_batched(
+            build,
+            |mut net| {
+                net.run_observed(Time::from(1e9), &mut NullObserver);
+                black_box(net.des.events_processed())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    for rank in [4usize, 16] {
+        group.bench_function(&format!("des_sketch_r{rank}"), |b| {
+            b.iter_batched(
+                build,
+                |mut net| {
+                    let mut sketch = PodSketch::for_des_grid(&g, 1, rank);
+                    net.run_observed(Time::from(1e9), &mut sketch);
+                    sketch.finish();
+                    black_box((net.des.events_processed(), sketch.snapshot().rows))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
     group.finish();
 }
 
@@ -455,6 +550,6 @@ criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20);
     targets = bench_correction, bench_decide, bench_dataflow, bench_dataflow_parallel, bench_des,
-        bench_des_event_loop, bench_observer_overhead
+        bench_des_event_loop, bench_observer_overhead, bench_sketch_overhead
 );
 criterion_main!(micro);

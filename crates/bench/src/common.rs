@@ -309,6 +309,7 @@ pub fn streaming_skew_result_observed(
         table,
         violations,
         skew: Some(summary),
+        sketch: None,
     }
 }
 

@@ -375,6 +375,7 @@ pub fn run(point: &SweepPoint, seeds: &[u64], sim_threads: usize) -> ScenarioRes
         table,
         violations,
         skew: Some(summary),
+        sketch: None,
     }
 }
 

@@ -80,6 +80,7 @@ pub fn run_checked(width: usize, pulses: usize, seeds: &[u64]) -> ScenarioResult
         table,
         violations,
         skew: None,
+        sketch: None,
     }
 }
 

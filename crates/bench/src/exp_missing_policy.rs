@@ -76,6 +76,7 @@ pub fn run_checked(width: usize, f: usize, pulses: usize, seeds: &[u64]) -> Scen
         table,
         violations,
         skew: None,
+        sketch: None,
     }
 }
 

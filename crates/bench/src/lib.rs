@@ -30,6 +30,7 @@ pub mod exp_kappa_sweep;
 pub mod exp_lem_a1;
 pub mod exp_lynch_welch;
 pub mod exp_missing_policy;
+pub mod exp_modes;
 pub mod exp_recovery;
 pub mod exp_scale;
 pub mod exp_table1;
@@ -123,6 +124,19 @@ pub fn all_scenarios(
     mode: TraceMode,
     sim_threads: usize,
 ) -> Vec<Scenario> {
+    all_scenarios_with_sketch_rank(scale, base_seed, mode, sim_threads, None)
+}
+
+/// [`all_scenarios`] with the `--sketch-rank` override: `Some(r)`
+/// replaces the rank of every `exp_modes` point (all other experiments
+/// are unaffected).
+pub fn all_scenarios_with_sketch_rank(
+    scale: Scale,
+    base_seed: u64,
+    mode: TraceMode,
+    sim_threads: usize,
+    sketch_rank: Option<usize>,
+) -> Vec<Scenario> {
     let mut scenarios = Vec::new();
     if mode == TraceMode::NoTrace {
         // Streaming twins: every experiment contributes its grid
@@ -165,6 +179,13 @@ pub fn all_scenarios(
         scenarios.extend(exp_fault_sweep::scenarios(scale, base_seed, sim_threads));
         // §21 Topology-family sweep (streaming-only in both modes).
         scenarios.extend(exp_topology::scenarios(scale, base_seed, sim_threads));
+        // §22 POD-sketch mode analytics (streaming-only in both modes).
+        scenarios.extend(exp_modes::scenarios(
+            scale,
+            base_seed,
+            sim_threads,
+            sketch_rank,
+        ));
         return scenarios;
     }
     // §1 Table 1.
@@ -209,6 +230,13 @@ pub fn all_scenarios(
     scenarios.extend(exp_fault_sweep::scenarios(scale, base_seed, sim_threads));
     // §21 Topology-family sweep (streaming-only in both modes).
     scenarios.extend(exp_topology::scenarios(scale, base_seed, sim_threads));
+    // §22 POD-sketch mode analytics (streaming-only in both modes).
+    scenarios.extend(exp_modes::scenarios(
+        scale,
+        base_seed,
+        sim_threads,
+        sketch_rank,
+    ));
     scenarios
 }
 
@@ -255,7 +283,7 @@ mod tests {
     #[test]
     fn quick_run_produces_all_tables() {
         let outcome = run_suite(Scale::Quick, 0, 1, TraceMode::Full, 1);
-        assert_eq!(outcome.tables.len(), 23);
+        assert_eq!(outcome.tables.len(), 24);
         for t in &outcome.tables {
             assert!(!t.is_empty(), "empty table: {}", t.to_markdown());
         }
@@ -286,7 +314,7 @@ mod tests {
     #[test]
     fn smoke_run_is_complete_and_small() {
         let outcome = run_suite(Scale::Smoke, 0, 0, TraceMode::Full, 1);
-        assert_eq!(outcome.tables.len(), 23);
+        assert_eq!(outcome.tables.len(), 24);
         for t in &outcome.tables {
             assert!(!t.is_empty());
         }
@@ -308,8 +336,8 @@ mod tests {
             .map(|r| r.experiment.as_str())
             .collect();
         experiments.dedup();
-        assert_eq!(experiments.len(), 21);
-        assert_eq!(experiments.last(), Some(&"exp_topology"));
+        assert_eq!(experiments.len(), 22);
+        assert_eq!(experiments.last(), Some(&"exp_modes"));
         // The whole point of the mode: every record carries streaming
         // skew statistics, and every simulated scenario counted events.
         for r in &outcome.report.records {

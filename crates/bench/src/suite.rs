@@ -22,7 +22,8 @@ use crate::Scale;
 use std::time::Instant;
 use trix_analysis::Table;
 use trix_runner::{
-    BenchRecord, BenchReport, Fnv, ParallelismStamp, SkewSummary, SweepRunner, ValueStats,
+    BenchRecord, BenchReport, Fnv, ParallelismStamp, SketchSummary, SkewSummary, SweepRunner,
+    ValueStats,
 };
 
 /// What one scenario job produces.
@@ -35,6 +36,10 @@ pub struct ScenarioResult {
     /// Streaming skew statistics, when the job ran with an online skew
     /// observer (recorded into the v2 benchmark JSON).
     pub skew: Option<SkewSummary>,
+    /// Compressed POD sketch of the job's pulse-front matrix, when the
+    /// job ran a `PodSketch` observer (recorded into the v7 benchmark
+    /// JSON).
+    pub sketch: Option<SketchSummary>,
 }
 
 impl From<Table> for ScenarioResult {
@@ -43,6 +48,7 @@ impl From<Table> for ScenarioResult {
             table,
             violations: Vec::new(),
             skew: None,
+            sketch: None,
         }
     }
 }
@@ -260,6 +266,7 @@ pub fn run_scenarios(
             skew: result.skew,
             campaign,
             topology,
+            sketch: result.sketch,
             wall_secs,
         };
         let violations: Vec<Violation> = result
@@ -339,6 +346,7 @@ mod tests {
             },
             violations: vec!["SC violated at layer 3".to_owned()],
             skew: None,
+            sketch: None,
         });
         let out = run_scenarios(vec![bad], Scale::Smoke, 0, 2);
         assert_eq!(out.violations.len(), 1);

@@ -21,6 +21,11 @@
 //! * [`TraceRing`] — a bounded ring of the last `N` pulse events in a
 //!   compact 16-byte encoding, for post-mortems of condition-oracle
 //!   violations in runs too large (or too long) to trace.
+//! * [`PodSketch`] — a rank-`r` incremental SVD/POD sketch of the
+//!   pulse-front matrix in `O(width × r)` memory, with a **certified**
+//!   Frobenius reconstruction-error bound and column-range `merge`; its
+//!   [`PodSnapshot`] (basis + spectrum + certificate) is the compressed
+//!   trace artifact benchmark records ship as schema v7.
 //! * [`FullTrace`] — the compatibility adapter reconstructing the classic
 //!   `PulseTrace`, so trace-based experiments ride the same driver.
 //! * [`FaultClassSkew`] — intra-layer skew partitioned by the
@@ -106,12 +111,14 @@ pub mod defs;
 mod des_monitor;
 mod full;
 mod ring;
+mod sketch;
 mod streaming;
 
 pub use attributed::{FaultClassSkew, FaultClassStats};
 pub use des_monitor::DesSkew;
 pub use full::FullTrace;
 pub use ring::{TraceEvent, TraceRing};
+pub use sketch::{PodSketch, PodSnapshot};
 pub use streaming::{Histogram, RunningStat, SkewStats, StreamingSkew};
 
 // Re-export the hook surface so observer implementors need only this

@@ -51,11 +51,12 @@ pub struct TraceRing {
 impl TraceRing {
     /// Creates a ring holding the last `capacity` events.
     ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
+    /// `capacity == 0` is legal and means "retain nothing": every event
+    /// is still counted by [`TraceRing::total_recorded`] (and the
+    /// per-node broadcast counters still advance), but `len()` stays 0 —
+    /// a run can disable post-mortem retention without changing any
+    /// other observer bookkeeping.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "capacity must be positive");
         Self {
             buf: Vec::with_capacity(capacity.min(1 << 16)),
             capacity,
@@ -66,13 +67,20 @@ impl TraceRing {
     }
 
     fn push(&mut self, event: TraceEvent) {
+        self.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
         if self.buf.len() < self.capacity {
             self.buf.push(event);
         } else {
+            // Full ring: overwrite the oldest entry. When exactly
+            // `capacity` events have been recorded the buffer is full
+            // with `head == 0`, so the next push overwrites index 0 —
+            // the ring always holds the most recent `capacity` events.
             self.buf[self.head] = event;
             self.head = (self.head + 1) % self.capacity;
         }
-        self.total += 1;
     }
 
     /// Number of retained events (≤ capacity).
@@ -174,6 +182,42 @@ mod tests {
         let last_two = r.recent(2);
         assert_eq!(last_two.len(), 2);
         assert_eq!(last_two[1].time, Time::from(4.0));
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_retaining() {
+        let mut r = TraceRing::new(0);
+        r.on_broadcast(1, Time::from(0.0));
+        r.on_broadcast(1, Time::from(1.0));
+        r.on_pulse(0, NodeId::new(2, 1), Time::from(2.0));
+        assert_eq!(r.len(), 0);
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 0);
+        assert_eq!(r.total_recorded(), 3);
+        assert_eq!(r.iter().count(), 0);
+        assert!(r.recent(5).is_empty());
+        assert!(r.dump(5).starts_with("last 0 of 3"));
+        // Broadcast counters still advance while retaining nothing.
+        r.on_broadcast(1, Time::from(3.0));
+        assert_eq!(r.counts[1], 3);
+    }
+
+    #[test]
+    fn exact_capacity_then_one_more_wraps_to_the_oldest() {
+        let mut r = TraceRing::new(3);
+        for i in 0..3u32 {
+            r.on_broadcast(0, Time::from(i as f64));
+        }
+        // Exactly at capacity: nothing overwritten yet, order preserved.
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_recorded(), 3);
+        let pulses: Vec<u32> = r.iter().map(|e| e.pulse).collect();
+        assert_eq!(pulses, vec![0, 1, 2]);
+        // One more: the oldest entry (pulse 0) is overwritten.
+        r.on_broadcast(0, Time::from(3.0));
+        assert_eq!(r.len(), 3);
+        let pulses: Vec<u32> = r.iter().map(|e| e.pulse).collect();
+        assert_eq!(pulses, vec![1, 2, 3]);
     }
 
     #[test]

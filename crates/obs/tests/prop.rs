@@ -10,10 +10,10 @@
 //! `trix_analysis::skew` across the experiment suite.
 
 use proptest::prelude::*;
-use trix_obs::{defs, FullTrace, StreamingSkew};
+use trix_obs::{defs, FullTrace, PodSketch, PodSnapshot, StreamingSkew};
 use trix_sim::{
-    run_dataflow_observed, CorrectSends, OffsetLayer0, PulseRule, PulseTrace, Rng, SendModel,
-    StaticEnvironment,
+    run_dataflow_barrier, run_dataflow_observed, run_dataflow_parallel, CorrectSends, OffsetLayer0,
+    PulseRule, PulseTrace, Rng, SendModel, StaticEnvironment,
 };
 use trix_time::{AffineClock, Duration, Time};
 use trix_topology::{BaseGraph, LayeredGraph, NodeId};
@@ -73,6 +73,39 @@ struct Batch {
     max_global: Duration,
     sum_intra: f64,
     count_intra: u64,
+}
+
+/// Pulse-front rows of a recorded trace, in the sketch's row order: one
+/// row per `(k, layer)` front with at least one emission, misfires
+/// zero-filled — the ground-truth matrix a `PodSketch` of the same run
+/// compressed.
+fn front_rows(g: &LayeredGraph, trace: &PulseTrace, pulses: usize) -> Vec<Vec<f64>> {
+    let mut rows = Vec::new();
+    for k in 0..pulses {
+        for layer in 0..g.layer_count() as u32 {
+            let times: Vec<Option<Time>> = (0..g.width() as u32)
+                .map(|v| trace.time(k, NodeId::new(v, layer)))
+                .collect();
+            if times.iter().any(Option::is_some) {
+                rows.push(
+                    times
+                        .into_iter()
+                        .map(|t| t.map_or(0.0, Time::as_f64))
+                        .collect(),
+                );
+            }
+        }
+    }
+    rows
+}
+
+/// Measured Frobenius reconstruction error of a snapshot over the rows
+/// covered by its column range.
+fn measured_error(snap: &PodSnapshot, rows: &[Vec<f64>]) -> f64 {
+    rows.iter()
+        .map(|r| snap.residual_sq(&r[snap.col_start..snap.col_start + snap.cols]))
+        .sum::<f64>()
+        .sqrt()
 }
 
 fn batch_fold(g: &LayeredGraph, trace: &PulseTrace, pulses: usize) -> Batch {
@@ -262,5 +295,177 @@ proptest! {
         let mass: u64 = s.intra().histogram().bins().iter().sum();
         prop_assert_eq!(mass, s.intra().count());
         prop_assert_eq!(s.pulses(), pulses as u64);
+    }
+
+    /// Column-range merge soundness on random topologies: a whole-stream
+    /// sketch and the merge of two column-range partials of the *same*
+    /// run each stay within their own certified bound against the
+    /// ground-truth front matrix, so their rank-`r` reconstructions
+    /// agree within the *summed* certificates (triangle inequality
+    /// through the shared ground truth).
+    #[test]
+    fn merged_column_sketches_stay_certified_on_random_topologies(
+        seed in any::<u64>(),
+        width in 4usize..10,
+        layers in 2usize..6,
+        pulses in 1usize..5,
+        cycle in any::<bool>(),
+        fault in any::<bool>(),
+        rank in 1usize..5,
+        split_num in 1usize..8,
+    ) {
+        let base = if cycle {
+            BaseGraph::cycle(width)
+        } else {
+            BaseGraph::line_with_replicated_ends(width)
+        };
+        let g = LayeredGraph::new(base, layers);
+        let w = g.width();
+        let split = 1 + split_num * (w - 2) / 8; // interior split point
+        let mut rng = Rng::seed_from(seed);
+        let env = StaticEnvironment::random(
+            &g,
+            Duration::from(10.0),
+            Duration::from(2.0),
+            1.05,
+            &mut rng,
+        );
+        let offsets = (0..w).map(|_| rng.f64_in(0.0, 3.0)).collect();
+        let layer0 = OffsetLayer0::new(25.0, offsets);
+        let bad = g.node(rng.usize_below(w), 1 + rng.usize_below(g.layer_count() - 1));
+
+        // One run, four observers: ground truth, the whole-stream
+        // sketch, and the two column-range partials.
+        let mut obs = (
+            FullTrace::new(&g, pulses),
+            (
+                PodSketch::new(&g, rank),
+                (
+                    PodSketch::for_columns(&g, rank, 0..split),
+                    PodSketch::for_columns(&g, rank, split..w),
+                ),
+            ),
+        );
+        if fault {
+            run_dataflow_observed(&g, &env, &layer0, &MaxPlus, &Silence(bad), pulses, &mut obs);
+        } else {
+            run_dataflow_observed(&g, &env, &layer0, &MaxPlus, &CorrectSends, pulses, &mut obs);
+        }
+        let (full, (mut whole, (mut left, right))) = obs;
+        let mut right = right;
+        whole.finish();
+        left.finish();
+        right.finish();
+        left.merge(&right);
+        let merged = left;
+
+        let rows = front_rows(&g, full.trace(), pulses);
+        let whole_snap = whole.snapshot();
+        let merged_snap = merged.snapshot();
+        prop_assert_eq!(merged_snap.cols, w);
+        prop_assert_eq!(merged_snap.rows, whole_snap.rows);
+        let whole_measured = measured_error(&whole_snap, &rows);
+        let merged_measured = measured_error(&merged_snap, &rows);
+        prop_assert!(
+            whole_measured <= whole_snap.error_bound,
+            "whole: measured {} > certified {}", whole_measured, whole_snap.error_bound
+        );
+        prop_assert!(
+            merged_measured <= merged_snap.error_bound,
+            "merged: measured {} > certified {}", merged_measured, merged_snap.error_bound
+        );
+        // The two reconstructions `A·U·Uᵀ` agree within the summed
+        // certificates: ‖Â_w − Â_m‖_F ≤ ‖Â_w − A‖_F + ‖A − Â_m‖_F.
+        let project = |snap: &PodSnapshot, row: &[f64]| -> Vec<f64> {
+            let cols = &row[snap.col_start..snap.col_start + snap.cols];
+            let coeffs = snap.coefficients(cols);
+            let mut out = vec![0.0; snap.cols];
+            for (j, &c) in coeffs.iter().enumerate() {
+                for (o, &uv) in out.iter_mut().zip(snap.mode(j)) {
+                    *o += c * uv;
+                }
+            }
+            out
+        };
+        let mut diff2 = 0.0;
+        for row in &rows {
+            let a = project(&whole_snap, row);
+            let b = project(&merged_snap, row);
+            diff2 += a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>();
+        }
+        let tol = whole_snap.error_bound + merged_snap.error_bound + 1e-9;
+        prop_assert!(
+            diff2.sqrt() <= tol,
+            "reconstructions diverge: {} > {}", diff2.sqrt(), tol
+        );
+    }
+
+    /// Engine-independence of the sketch: serial, barrier, and frontier
+    /// engines at 1–4 `--sim-threads` produce bit-identical sketches
+    /// (basis, spectrum, and certificate compared via `to_bits`) — the
+    /// determinism leg the schema-v7 CI `cmp` gates rest on.
+    #[test]
+    fn sketch_is_bit_deterministic_across_engines_and_thread_counts(
+        seed in any::<u64>(),
+        width in 3usize..9,
+        layers in 2usize..6,
+        pulses in 1usize..4,
+        fault in any::<bool>(),
+        rank in 1usize..5,
+    ) {
+        let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(width), layers);
+        let mut rng = Rng::seed_from(seed);
+        let env = StaticEnvironment::random(
+            &g,
+            Duration::from(10.0),
+            Duration::from(2.0),
+            1.05,
+            &mut rng,
+        );
+        let offsets = (0..g.width()).map(|_| rng.f64_in(0.0, 3.0)).collect();
+        let layer0 = OffsetLayer0::new(25.0, offsets);
+        let bad = g.node(rng.usize_below(g.width()), 1 + rng.usize_below(g.layer_count() - 1));
+
+        let run = |engine: usize, threads: usize| {
+            let mut sk = PodSketch::new(&g, rank);
+            match (fault, engine) {
+                (true, 0) => run_dataflow_observed(
+                    &g, &env, &layer0, &MaxPlus, &Silence(bad), pulses, &mut sk),
+                (true, 1) => run_dataflow_barrier(
+                    &g, &env, &layer0, &MaxPlus, &Silence(bad), pulses, threads, &mut sk),
+                (true, _) => run_dataflow_parallel(
+                    &g, &env, &layer0, &MaxPlus, &Silence(bad), pulses, threads, &mut sk),
+                (false, 0) => run_dataflow_observed(
+                    &g, &env, &layer0, &MaxPlus, &CorrectSends, pulses, &mut sk),
+                (false, 1) => run_dataflow_barrier(
+                    &g, &env, &layer0, &MaxPlus, &CorrectSends, pulses, threads, &mut sk),
+                (false, _) => run_dataflow_parallel(
+                    &g, &env, &layer0, &MaxPlus, &CorrectSends, pulses, threads, &mut sk),
+            }
+            sk.finish();
+            sk.snapshot()
+        };
+        let bits = |snap: &PodSnapshot| {
+            (
+                snap.singular_values.iter().map(|s| s.to_bits()).collect::<Vec<u64>>(),
+                snap.basis.iter().map(|b| b.to_bits()).collect::<Vec<u64>>(),
+                snap.error_bound.to_bits(),
+                snap.rows,
+            )
+        };
+        let reference = bits(&run(0, 1));
+        for engine in [1usize, 2] {
+            for threads in 1usize..=4 {
+                let other = bits(&run(engine, threads));
+                prop_assert_eq!(
+                    &reference, &other,
+                    "engine {} threads {} diverged", engine, threads
+                );
+            }
+        }
     }
 }

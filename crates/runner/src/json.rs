@@ -43,7 +43,16 @@ use std::fmt::Write as _;
 ///   the paper's line-with-replicated-ends layering). Like `campaign`
 ///   it describes *what* the scenario computed, so
 ///   [`BenchReport::canonicalized`] keeps it.
-pub const BENCH_SCHEMA_VERSION: u32 = 6;
+/// * **7** — added the per-record `sketch` object ([`SketchSummary`]):
+///   the compressed POD sketch of the pulse-front matrix (rank-`r`
+///   orthonormal basis + singular values + certified Frobenius
+///   reconstruction-error bound + the independently *measured* error)
+///   for scenarios that ran a `trix_obs::PodSketch` observer (`null`
+///   otherwise). A pure function of the workload — deterministic across
+///   `--threads` and `--sim-threads` — so [`BenchReport::canonicalized`]
+///   keeps it, and CI's byte-identity gates cover actual dynamics, not
+///   just summary stats.
+pub const BENCH_SCHEMA_VERSION: u32 = 7;
 
 /// Process-wide CPU detection the sweep ran under — the report-level
 /// `parallelism` object of schema v5.
@@ -120,6 +129,64 @@ impl SkewSummary {
             let _ = write!(out, "{b}");
         }
         out.push_str("]}");
+    }
+}
+
+/// The compressed POD sketch of one scenario's pulse-front matrix — the
+/// `sketch` object of schema v7.
+///
+/// This is the runner's serialization-side mirror of
+/// `trix_obs::PodSnapshot` (the runner stays independent of `trix-obs`;
+/// the bench harness converts). The basis is mode-major: mode `j` is
+/// `basis[j*cols .. (j+1)*cols]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SketchSummary {
+    /// Rank cap the sketch ran with (the retained basis may be smaller).
+    pub rank: usize,
+    /// Columns (base-graph width) the sketch covers.
+    pub cols: usize,
+    /// Pulse-front rows consumed.
+    pub rows: u64,
+    /// Retained singular values, descending.
+    pub singular_values: Vec<f64>,
+    /// Mode-major orthonormal basis (`singular_values.len() × cols`).
+    pub basis: Vec<f64>,
+    /// Certified upper bound on the Frobenius reconstruction error.
+    pub error_bound: f64,
+    /// Independently measured Frobenius reconstruction error (second
+    /// pass); the `exp_modes` oracle asserts `measured ≤ error_bound`.
+    pub measured_error: f64,
+    /// Total Frobenius energy `‖A‖²_F` of the streamed matrix.
+    pub energy: f64,
+}
+
+impl SketchSummary {
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"rank\": {}, \"cols\": {}, \"rows\": {}, \"singular_values\": [",
+            self.rank, self.cols, self.rows
+        );
+        for (i, s) in self.singular_values.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&fmt_json_f64(*s));
+        }
+        out.push_str("], \"basis\": [");
+        for (i, b) in self.basis.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&fmt_json_f64(*b));
+        }
+        let _ = write!(
+            out,
+            "], \"error_bound\": {}, \"measured_error\": {}, \"energy\": {}}}",
+            fmt_json_f64(self.error_bound),
+            fmt_json_f64(self.measured_error),
+            fmt_json_f64(self.energy),
+        );
     }
 }
 
@@ -209,6 +276,12 @@ pub struct BenchRecord {
     /// Workload metadata like `campaign`: survives
     /// [`BenchReport::canonicalized`].
     pub topology: Option<String>,
+    /// Compressed POD sketch of the scenario's pulse-front matrix
+    /// (schema v7), when the scenario ran a `PodSketch` observer.
+    /// Deterministic workload output — survives
+    /// [`BenchReport::canonicalized`], extending CI's byte-identity
+    /// gates to the sketched dynamics.
+    pub sketch: Option<SketchSummary>,
     /// Wall-clock seconds the scenario took (volatile; excluded from
     /// determinism comparisons).
     pub wall_secs: f64,
@@ -350,6 +423,13 @@ impl BenchRecord {
             }
             None => out.push_str(", \"topology\": null"),
         }
+        match &self.sketch {
+            Some(s) => {
+                out.push_str(", \"sketch\": ");
+                s.write_json(out);
+            }
+            None => out.push_str(", \"sketch\": null"),
+        }
         let _ = write!(out, ", \"wall_secs\": {}", fmt_json_f64(self.wall_secs));
         out.push('}');
     }
@@ -414,6 +494,7 @@ mod tests {
                 skew: None,
                 campaign: None,
                 topology: None,
+                sketch: None,
                 wall_secs: 0.25,
             }],
         }
@@ -422,7 +503,7 @@ mod tests {
     #[test]
     fn json_contains_versioned_schema_and_fields() {
         let j = sample().to_json();
-        assert!(j.contains("\"schema_version\": 6"));
+        assert!(j.contains("\"schema_version\": 7"));
         assert!(j.contains("\"parallelism\": {\"workers\": 4, \"detection_failed\": false}"));
         assert!(j.contains("\"experiment\": \"thm11\""));
         assert!(j.contains("\"params\": {\"width\": \"8\"}"));
@@ -434,7 +515,34 @@ mod tests {
         assert!(j.contains("\"skew\": null"));
         assert!(j.contains("\"campaign\": null"));
         assert!(j.contains("\"topology\": null"));
+        assert!(j.contains("\"sketch\": null"));
         assert!(j.contains("\"wall_secs\": 0.25"));
+    }
+
+    /// Schema v7: the sketch object serializes in field order and, being
+    /// a deterministic function of the workload, survives
+    /// canonicalization untouched.
+    #[test]
+    fn sketch_summary_serializes_and_survives_canonicalization() {
+        let mut r = sample();
+        r.records[0].sketch = Some(SketchSummary {
+            rank: 2,
+            cols: 3,
+            rows: 5,
+            singular_values: vec![4.0, 0.5],
+            basis: vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0],
+            error_bound: 0.25,
+            measured_error: 0.125,
+            energy: 16.5,
+        });
+        let j = r.to_json();
+        assert!(j.contains(
+            "\"sketch\": {\"rank\": 2, \"cols\": 3, \"rows\": 5, \
+             \"singular_values\": [4, 0.5], \"basis\": [1, 0, 0, 0, 1, 0], \
+             \"error_bound\": 0.25, \"measured_error\": 0.125, \"energy\": 16.5}"
+        ));
+        let c = r.canonicalized();
+        assert_eq!(c.records[0].sketch, r.records[0].sketch);
     }
 
     /// Schema v6: the topology descriptor serializes and survives

@@ -40,8 +40,8 @@
 mod json;
 
 pub use json::{
-    json_escape, BenchRecord, BenchReport, ParallelismStamp, SkewSummary, ValueStats,
-    BENCH_SCHEMA_VERSION,
+    json_escape, BenchRecord, BenchReport, ParallelismStamp, SketchSummary, SkewSummary,
+    ValueStats, BENCH_SCHEMA_VERSION,
 };
 
 use std::sync::atomic::{AtomicUsize, Ordering};

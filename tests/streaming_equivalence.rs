@@ -11,14 +11,15 @@
 
 use gradient_trix::analysis::{global_skew, inter_layer_skew, intra_layer_skew};
 use gradient_trix::core::GradientTrixRule;
-use gradient_trix::obs::SkewStats;
+use gradient_trix::obs::{FullTrace, PodSketch, SkewStats};
 use gradient_trix::sim::{CorrectSends, SendModel};
-use gradient_trix::topology::LayeredGraph;
+use gradient_trix::time::Time;
+use gradient_trix::topology::{LayeredGraph, NodeId};
 use trix_bench::common::{
-    grid, merge_snapshots, run_gradient_trix, run_gradient_trix_graph, standard_params,
-    streaming_monitor,
+    grid, merge_snapshots, run_gradient_trix, run_gradient_trix_graph, run_gradient_trix_streaming,
+    standard_params, streaming_monitor,
 };
-use trix_bench::{exp_fault_sweep, exp_topology, run_suite, Scale, TraceMode};
+use trix_bench::{exp_fault_sweep, exp_modes, exp_topology, run_suite, Scale, TraceMode};
 use trix_runner::BenchRecord;
 
 /// Batch recomputation of a [`SkewStats`] snapshot from a full trace,
@@ -139,6 +140,30 @@ fn suite_streaming_stats_equal_post_hoc_for_any_thread_count() {
             .seeds
             .iter()
             .map(|&seed| {
+                if record.experiment == "exp_modes" {
+                    // POD-sketch scenarios (schema v7) stamp the
+                    // workload axis in params: rebuild the identical
+                    // deployment and adversary, then replay the skew leg
+                    // through the trace-backed path. (The sketch leg is
+                    // pinned by `sketch_certificate_holds_on_full_trace_grids`
+                    // below.)
+                    let point = exp_modes::point_from_params(&record.params)
+                        .expect("sweep point from params");
+                    let g = point.layered();
+                    return match point.workload {
+                        exp_modes::Workload::Grid => {
+                            post_hoc_stats(&g, pulses, seed, &CorrectSends)
+                        }
+                        exp_modes::Workload::Wave => {
+                            let campaign =
+                                exp_fault_sweep::campaign_for(&g, &point.wave_point(), seed);
+                            post_hoc_stats(&g, pulses, seed, &campaign)
+                        }
+                        exp_modes::Workload::Torus | exp_modes::Workload::Supernode => {
+                            post_hoc_graph_stats(&g, pulses, seed)
+                        }
+                    };
+                }
                 if record.experiment == "exp_topology" {
                     // Family scenarios (schema v6 stamps the versioned
                     // topology descriptor): rebuild the identical graph
@@ -177,17 +202,86 @@ fn suite_streaming_stats_equal_post_hoc_for_any_thread_count() {
     }
 }
 
-/// The new schema round-trips through disk: the written
-/// `BENCH_exp_scale.json` re-reads byte-identically and carries the v6
-/// version tag, the parallelism stamp, the `sim_threads` execution
-/// metadata, and the streamed statistics.
+/// The POD sketch's error certificate holds against ground truth: on
+/// small grids we can afford a full trace of, reconstruct the
+/// pulse-front matrix row by row from the trace, measure the sketch's
+/// Frobenius reconstruction error explicitly, and assert it never
+/// exceeds the certified bound. At full rank (rank ≥ matrix rank)
+/// nothing is ever truncated, so the certificate is pure roundoff slack
+/// — the reconstruction is exact to machine precision.
 #[test]
-fn exp_scale_record_round_trips_schema_v6() {
+fn sketch_certificate_holds_on_full_trace_grids() {
+    let p = standard_params();
+    let rule = GradientTrixRule::new(p);
+    for &(width, layers, pulses, rank) in &[
+        (6usize, 5usize, 3usize, 2usize),
+        (6, 5, 3, 4),
+        (10, 8, 4, 3),
+        // Full rank: rank ≥ columns, so the basis spans every row.
+        (6, 5, 3, 8),
+    ] {
+        let g = grid(width, layers);
+        let mut pair = (FullTrace::new(&g, pulses), PodSketch::new(&g, rank));
+        run_gradient_trix_streaming(&g, &p, &rule, &CorrectSends, pulses, 0xfeed, 1, &mut pair);
+        let (full, mut sketch) = pair;
+        sketch.finish();
+        let snap = sketch.snapshot();
+        let trace = full.into_trace();
+
+        // Ground-truth pulse-front matrix, in the sketch's row order:
+        // one row per (k, layer) front with ≥ 1 emission, misfires 0.0.
+        let mut rows = 0usize;
+        let mut resid2 = 0.0f64;
+        for k in 0..pulses {
+            for layer in 0..g.layer_count() as u32 {
+                let times: Vec<Option<Time>> = (0..g.width() as u32)
+                    .map(|v| trace.time(k, NodeId::new(v, layer)))
+                    .collect();
+                if times.iter().any(Option::is_some) {
+                    let row: Vec<f64> = times
+                        .into_iter()
+                        .map(|t| t.map_or(0.0, Time::as_f64))
+                        .collect();
+                    resid2 += snap.residual_sq(&row);
+                    rows += 1;
+                }
+            }
+        }
+        assert_eq!(
+            rows as u64, snap.rows,
+            "w={width} r={rank}: row count drifted"
+        );
+        let measured = resid2.sqrt();
+        assert!(
+            measured <= snap.error_bound,
+            "w={width} r={rank}: measured {measured} exceeds certificate {}",
+            snap.error_bound
+        );
+        if rank >= snap.cols {
+            // Full rank: the certificate itself collapses to roundoff
+            // slack, pinning the reconstruction exact in the measured
+            // leg too.
+            let scale = snap.energy.sqrt().max(1.0);
+            assert!(
+                snap.error_bound <= 1e-8 * scale,
+                "w={width} r={rank}: full-rank certificate {} not within roundoff of ‖A‖ = {scale}",
+                snap.error_bound
+            );
+        }
+    }
+}
+
+/// The new schema round-trips through disk: the written
+/// `BENCH_exp_scale.json` re-reads byte-identically and carries the v7
+/// version tag, the parallelism stamp, the `sim_threads` execution
+/// metadata, the streamed statistics, and the compressed sketch.
+#[test]
+fn exp_scale_record_round_trips_schema_v7() {
     let outcome = run_suite(Scale::Smoke, 7, 2, TraceMode::NoTrace, 2);
     let report = outcome.report.filtered("exp_scale");
     assert!(!report.records.is_empty());
     let json = report.to_json();
-    assert!(json.contains("\"schema_version\": 6"));
+    assert!(json.contains("\"schema_version\": 7"));
     // Schema v5: the report is stamped with the process's actual CPU
     // detection (the harness can't masquerade a failed detection as a
     // perf regression).
@@ -216,6 +310,13 @@ fn exp_scale_record_round_trips_schema_v6() {
     assert!(topo
         .to_json()
         .contains("\"topology\": \"v1 torus rows=3 cols=4 n=12 m=24 deg=4..4 D=3\""));
+    // Schema v7: non-sketching experiments truthfully carry a null
+    // sketch; every `exp_modes` record ships the compressed basis.
+    assert!(json.contains("\"sketch\": null"));
+    let modes = outcome.report.filtered("exp_modes");
+    assert!(!modes.records.is_empty());
+    assert!(modes.records.iter().all(|r| r.sketch.is_some()));
+    assert!(modes.to_json().contains("\"sketch\": {\"rank\":"));
     let path = std::env::temp_dir().join("BENCH_exp_scale_roundtrip.json");
     std::fs::write(&path, &json).expect("write");
     let back = std::fs::read_to_string(&path).expect("read");
