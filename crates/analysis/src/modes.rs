@@ -71,9 +71,11 @@ pub struct ModeProbe {
     row: Vec<f64>,
     rows: u64,
     resid2: f64,
-    /// Flattened per-(mode, pulse) accumulators, grown on demand:
-    /// `layer_mass[mode·pulses + k] = Σ_ℓ p²`,
-    /// `layer_first_moment[...] = Σ_ℓ ℓ·p²`.
+    /// Flattened per-(pulse, mode) accumulators, grown on demand.
+    /// Pulse-major (`layer_mass[k·modes + j] = Σ_ℓ p²`,
+    /// `layer_first_moment[...] = Σ_ℓ ℓ·p²`): the mode count is fixed by
+    /// the snapshot, so growing the pulse count appends whole new pulse
+    /// blocks and already-accumulated slots keep their meaning.
     pulses_seen: usize,
     layer_mass: Vec<f64>,
     layer_first_moment: Vec<f64>,
@@ -100,12 +102,12 @@ impl ModeProbe {
             return;
         };
         self.rows += 1;
+        let modes = self.snap.modes();
         if k >= self.pulses_seen {
-            let modes = self.snap.modes();
             self.pulses_seen = k + 1;
-            self.layer_mass.resize(modes * self.pulses_seen, 0.0);
+            self.layer_mass.resize(self.pulses_seen * modes, 0.0);
             self.layer_first_moment
-                .resize(modes * self.pulses_seen, 0.0);
+                .resize(self.pulses_seen * modes, 0.0);
         }
         let coeffs = self.snap.coefficients(&self.row);
         // Residual ‖row − U·p‖² computed explicitly (no orthonormality
@@ -119,7 +121,7 @@ impl ModeProbe {
         self.resid2 += resid.iter().map(|x| x * x).sum::<f64>();
         for (j, &c) in coeffs.iter().enumerate() {
             let w = c * c;
-            let slot = j * self.pulses_seen + k;
+            let slot = k * modes + j;
             self.layer_mass[slot] += w;
             self.layer_first_moment[slot] += layer as f64 * w;
         }
@@ -149,7 +151,7 @@ impl ModeProbe {
                 // slope over the pulses that carried energy.
                 let mut pts: Vec<(f64, f64)> = Vec::new();
                 for k in 0..self.pulses_seen {
-                    let slot = j * self.pulses_seen + k;
+                    let slot = k * modes + j;
                     let mass = self.layer_mass[slot];
                     if mass > 0.0 {
                         pts.push((k as f64, self.layer_first_moment[slot] / mass));
@@ -298,6 +300,54 @@ mod tests {
         let dominant = &report.modes[0];
         let v = dominant.velocity.expect("4 pulses of energy → a fit");
         assert!(v.is_finite());
+    }
+
+    /// Streams two column-disjoint waves: a bump at column 1 advancing
+    /// one layer per pulse (starting at layer 1 so it never overlaps the
+    /// other feature) and a stationary bump at column 4 pinned to
+    /// layer 0. The pulse-front matrix is exactly rank 2 with orthogonal
+    /// columns, so the modes are (up to sign) `e₁` and `e₄`.
+    fn feed_two_waves(obs: &mut impl Observer, width: usize, layers: usize, pulses: usize) {
+        for k in 0..pulses {
+            for layer in 0..layers {
+                for v in 0..width {
+                    let t = if v == 1 && layer == k + 1 {
+                        50.0
+                    } else if v == 4 && layer == 0 {
+                        30.0
+                    } else {
+                        0.0
+                    };
+                    obs.on_pulse(k, NodeId::new(v as u32, layer as u32), Time::from(t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_wave_velocities_are_recovered_exactly() {
+        // Value (not just finiteness) assertions on a known synthetic
+        // wave, with ≥2 modes and ≥2 pulses so any mis-striding of the
+        // per-(pulse, mode) accumulators across `pulses_seen` growth
+        // corrupts the fitted slopes and fails the test.
+        let (w, l, p) = (6, 6, 4);
+        let g = grid(w, l);
+        let mut sk = PodSketch::new(&g, 4);
+        feed_two_waves(&mut sk, w, l, p);
+        sk.finish();
+        let snap = sk.snapshot();
+        let mut probe = ModeProbe::new(snap.clone());
+        feed_two_waves(&mut probe, w, l, p);
+        let report = probe.into_report();
+        assert_eq!(report.modes.len(), 2, "rank-2 data → two retained modes");
+        let moving = &report.modes[0];
+        assert_eq!(moving.origin_col, 1);
+        let v0 = moving.velocity.expect("moving bump carries 4 pulses");
+        assert!((v0 - 1.0).abs() < 1e-9, "moving bump slope {v0} ≠ 1");
+        let pinned = &report.modes[1];
+        assert_eq!(pinned.origin_col, 4);
+        let v1 = pinned.velocity.expect("pinned bump carries 4 pulses");
+        assert!(v1.abs() < 1e-9, "stationary bump slope {v1} ≠ 0");
     }
 
     #[test]

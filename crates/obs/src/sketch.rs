@@ -32,9 +32,17 @@
 //! [`PodSketch::error_bound`] reports `D` plus a deterministic roundoff
 //! allowance (a small multiple of `ε · cols · rank · Σ‖row‖`), so the
 //! bound survives floating point even at full rank where `D = 0`.
-//! The bound is *checked against measured residuals* by the workspace
-//! test-suite and by the `exp_modes` experiment oracle at `--no-trace`
-//! scale.
+//!
+//! One honesty caveat: the truncated-mass term `D` is exact (a
+//! triangle-inequality sum in exact arithmetic), but the roundoff
+//! allowance is an **empirically sized margin**, not a derived
+//! worst-case backward-error bound for the Gram–Schmidt/Jacobi
+//! pipeline. `measured ≤ certified` is therefore guaranteed-as-tested,
+//! not proven for arbitrary inputs: it is *checked against measured
+//! residuals* by the workspace test-suite and by the `exp_modes`
+//! experiment oracle at `--no-trace` scale, and workloads far outside
+//! that envelope (vastly larger widths/row counts, adversarial
+//! conditioning) could in principle outrun the slack.
 //!
 //! # Determinism and merge
 //!
@@ -74,7 +82,9 @@ const MAX_SWEEPS: usize = 64;
 /// allowance dominates the basis-orthonormality drift a *measurement*
 /// pass observes even when nothing was truncated (the full-rank case,
 /// where the certificate is pure slack) while staying ~1e-10 relative
-/// to `‖A‖_F` on every workload in the suite.
+/// to `‖A‖_F` on every workload in the suite. This is an empirically
+/// tuned heuristic, not a derived worst-case rounding-error bound — see
+/// the module docs for what that means for the certificate's scope.
 const SLACK_MARGIN: f64 = 512.0;
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -328,7 +338,8 @@ impl PodSketch {
         self.max_rank
     }
 
-    /// Front rows ingested so far.
+    /// Front rows ingested so far (after [`PodSketch::merge`], a lower
+    /// bound on the combined range's distinct fronts — see `merge`).
     pub fn rows(&self) -> u64 {
         self.rows
     }
@@ -465,12 +476,14 @@ impl PodSketch {
 
         // Singular values = column norms, sorted descending
         // (deterministic index tiebreak); keep at most `max_rank`
-        // strictly positive ones.
+        // strictly positive ones. `total_cmp` so a non-finite pulse time
+        // (NaN propagates into the norms) degrades the sketch instead of
+        // panicking the run — and stays deterministic either way.
         let mut order: Vec<usize> = (0..kc).collect();
         let norms: Vec<f64> = (0..kc)
             .map(|j| dot(&kmat[j * kr..(j + 1) * kr], &kmat[j * kr..(j + 1) * kr]).sqrt())
             .collect();
-        order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap().then(i.cmp(&j)));
+        order.sort_by(|&i, &j| norms[j].total_cmp(&norms[i]).then(i.cmp(&j)));
         let kept: Vec<usize> = order
             .iter()
             .copied()
@@ -580,6 +593,13 @@ impl PodSketch {
     /// within the sum of their bounds (pinned by the `trix-obs`
     /// property tests).
     ///
+    /// The merged row count is the **max** of the parts' counts, a
+    /// *lower bound* on the distinct fronts of the combined range: a
+    /// front that emitted nothing inside one partial's column range
+    /// contributes no row there, and different fronts can be silent in
+    /// different partials. The certificate does not depend on `rows`,
+    /// so the bound above is unaffected.
+    ///
     /// # Panics
     ///
     /// Panics unless both sketches are finished, ranks match, and the
@@ -600,12 +620,7 @@ impl PodSketch {
         let mut cand: Vec<(f64, usize, usize)> = Vec::with_capacity(self.sv.len() + other.sv.len());
         cand.extend(self.sv.iter().enumerate().map(|(i, &s)| (s, 0, i)));
         cand.extend(other.sv.iter().enumerate().map(|(i, &s)| (s, 1, i)));
-        cand.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap()
-                .then(a.1.cmp(&b.1))
-                .then(a.2.cmp(&b.2))
-        });
+        cand.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
         let keep = cand
             .iter()
             .take(self.max_rank)
@@ -634,6 +649,7 @@ impl PodSketch {
         self.cols = w;
         self.energy += other.energy;
         self.norm_sum += other.norm_sum;
+        // Lower bound, not an exact union count — see the doc comment.
         self.rows = self.rows.max(other.rows);
         self.cert = self.cert.hypot(other.cert) + drop2.sqrt();
         self.discarded = self.cert;
@@ -728,7 +744,11 @@ pub struct PodSnapshot {
     pub col_start: usize,
     /// Number of base-graph columns covered.
     pub cols: usize,
-    /// Front rows ingested.
+    /// Front rows ingested. For a sketch assembled by
+    /// [`PodSketch::merge`] this is the max of the parts' counts — a
+    /// **lower bound** on the distinct fronts of the combined range,
+    /// since a front silent in one partial's column range contributes no
+    /// row there (the v7 JSON ships this value as-is).
     pub rows: u64,
     /// Singular values, descending.
     pub singular_values: Vec<f64>,

@@ -363,6 +363,10 @@ proptest! {
         let whole_snap = whole.snapshot();
         let merged_snap = merged.snapshot();
         prop_assert_eq!(merged_snap.cols, w);
+        // Merged `rows` is in general only a lower bound on the combined
+        // range's fronts (see `PodSketch::merge`); equality holds here
+        // because at most one node is silenced per run, so at least one
+        // partial sees every front the whole stream sees.
         prop_assert_eq!(merged_snap.rows, whole_snap.rows);
         let whole_measured = measured_error(&whole_snap, &rows);
         let merged_measured = measured_error(&merged_snap, &rows);
