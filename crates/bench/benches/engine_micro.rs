@@ -191,7 +191,13 @@ fn bench_observer_overhead(c: &mut Criterion) {
 ///   charged to the measurement;
 /// * `des_noop` / `des_sketch_r{4,16}` — the DES engine's
 ///   `run_observed` with the same observer pair
-///   ([`PodSketch::for_des_grid`] over the broadcast stream).
+///   ([`PodSketch::for_des_grid`] over the broadcast stream);
+/// * `ingest_w1280_r{4,16}` — the paper-scale-width proxy: driving the
+///   full 1280×1280 dataflow is too heavy for a micro harness, so this
+///   row isolates the sketch's own per-row cost — the quantity the
+///   overhead targets actually bound — by pushing 32 synthetic
+///   width-1280 rows through [`Observer::on_pulse_row`] and charging
+///   `finish()` to the measurement.
 ///
 /// Measured numbers are recorded in README.md §Trace compression.
 fn bench_sketch_overhead(c: &mut Criterion) {
@@ -268,6 +274,44 @@ fn bench_sketch_overhead(c: &mut Criterion) {
                 },
                 BatchSize::SmallInput,
             )
+        });
+    }
+
+    // Paper-scale width proxy (see the doc comment): synthetic rows at
+    // `--no-trace` width, fed straight through the row hook so only the
+    // sketch kernels (row copy, blocked Gram–Schmidt, Jacobi flush) are
+    // on the clock. Roughly one node in 17 is silent, matching a sparse
+    // fault campaign. Placed last so its throughput annotation doesn't
+    // bleed into the rows above.
+    let gw = LayeredGraph::new(BaseGraph::line_with_replicated_ends(1280), 4);
+    let wide = gw.width(); // 1282: the line plus its two replicated ends
+    let wide_rows: Vec<Vec<Option<Time>>> = (0..32usize)
+        .map(|r| {
+            (0..wide)
+                .map(|v| {
+                    let x = (r * wide + v) as u64;
+                    if x % 17 == 3 {
+                        None
+                    } else {
+                        let h = (x ^ (x >> 7)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                        Some(Time::from(1000.0 + (h % 1024) as f64 / 4.0))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    group.throughput(Throughput::Elements((wide_rows.len() * wide) as u64));
+    for rank in [4usize, 16] {
+        group.bench_function(&format!("ingest_w1280_r{rank}"), |b| {
+            b.iter(|| {
+                let mut sketch = PodSketch::new(&gw, rank);
+                for (i, row) in wide_rows.iter().enumerate() {
+                    let (k, layer) = (i / gw.layer_count(), (i % gw.layer_count()) as u32);
+                    trix_sim::Observer::on_pulse_row(&mut sketch, k, layer, row);
+                }
+                sketch.finish();
+                black_box(sketch.snapshot().rows)
+            })
         });
     }
     group.finish();

@@ -33,7 +33,7 @@ use crate::suite::{kv, Scenario, ScenarioResult};
 use crate::{exp_fault_sweep, exp_topology, Scale};
 use trix_analysis::{fmt_f64, ModeProbe, ModeReport, Table};
 use trix_core::GradientTrixRule;
-use trix_obs::{PodSketch, PodSnapshot, SkewStats};
+use trix_obs::{PipelinedSketch, PodSketch, PodSnapshot, SkewStats};
 use trix_runner::SketchSummary;
 use trix_topology::LayeredGraph;
 
@@ -145,93 +145,85 @@ impl SweepPoint {
     }
 }
 
-/// Runs both passes of one seed: sketch-building pass, then the
-/// mode-probe measurement pass over the identical stream.
+/// Drives one point's workload once, streaming into `obs` — the single
+/// place the `(workload → engine, send model)` dispatch lives, so the
+/// sketch pass, the pipelined sketch pass, and the mode-probe pass all
+/// construct the identical run.
+fn drive(
+    point: &SweepPoint,
+    g: &LayeredGraph,
+    seed: u64,
+    sim_threads: usize,
+    obs: &mut impl trix_sim::Observer,
+) {
+    let p = standard_params();
+    let rule = GradientTrixRule::new(p);
+    match point.workload {
+        Workload::Grid => run_gradient_trix_streaming(
+            g,
+            &p,
+            &rule,
+            &trix_sim::CorrectSends,
+            point.pulses,
+            seed,
+            sim_threads,
+            obs,
+        ),
+        Workload::Wave => {
+            let campaign = exp_fault_sweep::campaign_for(g, &point.wave_point(), seed);
+            run_gradient_trix_streaming(
+                g,
+                &p,
+                &rule,
+                &campaign,
+                point.pulses,
+                seed,
+                sim_threads,
+                obs,
+            );
+        }
+        Workload::Torus | Workload::Supernode => run_gradient_trix_streaming_graph(
+            g,
+            &p,
+            &rule,
+            &trix_sim::CorrectSends,
+            point.pulses,
+            seed,
+            sim_threads,
+            obs,
+        ),
+    }
+}
+
+/// Runs both passes of one seed: sketch-building pass (inline or on the
+/// [`PipelinedSketch`] worker — bit-identical by contract, which the
+/// tests and the CI `cmp` gate verify), then the mode-probe measurement
+/// pass over the identical stream.
 fn run_seed(
     point: &SweepPoint,
     g: &LayeredGraph,
     seed: u64,
     sim_threads: usize,
+    pipeline: bool,
 ) -> (SkewStats, PodSnapshot, ModeReport) {
     let p = standard_params();
-    let rule = GradientTrixRule::new(p);
     let mut skew = streaming_monitor(g, &p);
-    let mut sketch = PodSketch::new(g, point.rank);
-    match point.workload {
-        Workload::Grid => run_gradient_trix_streaming(
-            g,
-            &p,
-            &rule,
-            &trix_sim::CorrectSends,
-            point.pulses,
-            seed,
-            sim_threads,
-            &mut (&mut skew, &mut sketch),
-        ),
-        Workload::Wave => {
-            let campaign = exp_fault_sweep::campaign_for(g, &point.wave_point(), seed);
-            run_gradient_trix_streaming(
-                g,
-                &p,
-                &rule,
-                &campaign,
-                point.pulses,
-                seed,
-                sim_threads,
-                &mut (&mut skew, &mut sketch),
-            );
-        }
-        Workload::Torus | Workload::Supernode => run_gradient_trix_streaming_graph(
-            g,
-            &p,
-            &rule,
-            &trix_sim::CorrectSends,
-            point.pulses,
-            seed,
-            sim_threads,
-            &mut (&mut skew, &mut sketch),
-        ),
-    }
+    let mut sketch = if pipeline {
+        let piped = PipelinedSketch::spawn(PodSketch::new(g, point.rank));
+        let mut obs = (&mut skew, piped);
+        drive(point, g, seed, sim_threads, &mut obs);
+        obs.1.join()
+    } else {
+        let mut sketch = PodSketch::new(g, point.rank);
+        drive(point, g, seed, sim_threads, &mut (&mut skew, &mut sketch));
+        sketch
+    };
     skew.finish();
     sketch.finish();
     let snap = sketch.snapshot();
     // Pass 2: measure the snapshot against the stream it came from.
     let mut probe = ModeProbe::new(snap.clone());
-    match point.workload {
-        Workload::Grid => run_gradient_trix_streaming(
-            g,
-            &p,
-            &rule,
-            &trix_sim::CorrectSends,
-            point.pulses,
-            seed,
-            sim_threads,
-            &mut probe,
-        ),
-        Workload::Wave => {
-            let campaign = exp_fault_sweep::campaign_for(g, &point.wave_point(), seed);
-            run_gradient_trix_streaming(
-                g,
-                &p,
-                &rule,
-                &campaign,
-                point.pulses,
-                seed,
-                sim_threads,
-                &mut probe,
-            );
-        }
-        Workload::Torus | Workload::Supernode => run_gradient_trix_streaming_graph(
-            g,
-            &p,
-            &rule,
-            &trix_sim::CorrectSends,
-            point.pulses,
-            seed,
-            sim_threads,
-            &mut probe,
-        ),
-    }
+    drive(point, g, seed, sim_threads, &mut probe);
     let report = probe.into_report();
     (skew.snapshot(), snap, report)
 }
@@ -255,14 +247,21 @@ const HEADERS: [&str; 12] = [
 
 /// Runs one sweep point: per seed, the two-pass sketch/probe workload
 /// with the `measured ≤ certified` oracle; the record ships the first
-/// seed's compressed sketch and its measured error.
-pub fn run(point: &SweepPoint, seeds: &[u64], sim_threads: usize) -> ScenarioResult {
+/// seed's compressed sketch and its measured error. `pipeline` moves
+/// the sketch onto the [`PipelinedSketch`] worker — results are
+/// bit-identical either way (the CI gate `cmp`s the canonical JSON).
+pub fn run(
+    point: &SweepPoint,
+    seeds: &[u64],
+    sim_threads: usize,
+    pipeline: bool,
+) -> ScenarioResult {
     let g = point.layered();
     let mut violations = Vec::new();
     let mut snaps: Vec<SkewStats> = Vec::new();
     let mut first: Option<(PodSnapshot, ModeReport)> = None;
     for &seed in seeds {
-        let (skew, snap, report) = run_seed(point, &g, seed, sim_threads);
+        let (skew, snap, report) = run_seed(point, &g, seed, sim_threads, pipeline);
         if report.rows != snap.rows {
             violations.push(format!(
                 "seed {seed}: probe consumed {} rows but the sketch folded {}",
@@ -375,12 +374,16 @@ pub fn points(scale: Scale, rank_override: Option<usize>) -> Vec<SweepPoint> {
 /// Streaming-only by construction, so the decomposition is identical in
 /// both trace modes; wave points stamp their campaign descriptor and
 /// family points their topology descriptor, and every point threads
-/// `--sim-threads` into the dataflow driver.
+/// `--sim-threads` into the dataflow driver. `pipeline` (the
+/// `--sketch-pipeline` CLI knob) runs every point's sketch on the
+/// dedicated worker; it is deliberately *not* a record param, because
+/// the records must be byte-identical with it on or off.
 pub fn scenarios(
     scale: Scale,
     base_seed: u64,
     sim_threads: usize,
     rank_override: Option<usize>,
+    pipeline: bool,
 ) -> Vec<Scenario> {
     points(scale, rank_override)
         .into_iter()
@@ -400,7 +403,7 @@ pub fn scenarios(
                     kv("pulses", point.pulses),
                 ],
                 &seeds,
-                move || run(&point, &job_seeds, sim_threads),
+                move || run(&point, &job_seeds, sim_threads, pipeline),
             )
             .with_sim_threads(sim_threads);
             match point.workload {
@@ -440,7 +443,7 @@ mod tests {
     #[test]
     fn every_smoke_point_passes_the_certificate_oracle() {
         for point in points(Scale::Smoke, None) {
-            let result = run(&point, &[3], 1);
+            let result = run(&point, &[3], 1, false);
             assert!(
                 result.violations.is_empty(),
                 "{}: {:?}",
@@ -466,9 +469,9 @@ mod tests {
             points(Scale::Smoke, None)[2],
             points(Scale::Smoke, None)[3],
         ] {
-            let serial = run(&point, &[5, 6], 1);
+            let serial = run(&point, &[5, 6], 1, false);
             for sim_threads in [2, 4] {
-                let sharded = run(&point, &[5, 6], sim_threads);
+                let sharded = run(&point, &[5, 6], sim_threads, false);
                 assert_eq!(
                     serial.sketch,
                     sharded.sketch,
@@ -501,8 +504,39 @@ mod tests {
         for point in points(Scale::Smoke, Some(7)) {
             assert_eq!(point.rank, 7);
         }
-        for s in scenarios(Scale::Smoke, 0, 1, None) {
+        for s in scenarios(Scale::Smoke, 0, 1, None, false) {
             assert_eq!(s.experiment(), "exp_modes");
+        }
+    }
+
+    /// Handing the sketch to the [`PipelinedSketch`] worker changes
+    /// nothing in the results — sketch, skew, table, all bit-identical —
+    /// for serial and sharded engines alike. This is the in-repo leg of
+    /// the CI gate that `cmp`s canonical `BENCH_exp_modes.json` with
+    /// `--sketch-pipeline` on vs. off.
+    #[test]
+    fn sketch_pipelining_does_not_change_the_record() {
+        for point in [
+            points(Scale::Smoke, None)[1], // grid r=16: heaviest sketch
+            points(Scale::Smoke, None)[2], // wave: faulty positions ride along
+            points(Scale::Smoke, None)[4], // supernode: graph-family leg
+        ] {
+            for sim_threads in [1, 2] {
+                let inline = run(&point, &[5, 6], sim_threads, false);
+                let piped = run(&point, &[5, 6], sim_threads, true);
+                assert_eq!(
+                    inline.sketch,
+                    piped.sketch,
+                    "{} sim_threads = {sim_threads}",
+                    point.label()
+                );
+                assert_eq!(inline.skew, piped.skew);
+                assert_eq!(
+                    crate::suite::table_fingerprint(&inline.table),
+                    crate::suite::table_fingerprint(&piped.table)
+                );
+                assert!(inline.violations.is_empty() && piped.violations.is_empty());
+            }
         }
     }
 

@@ -137,6 +137,24 @@ pub fn all_scenarios_with_sketch_rank(
     sim_threads: usize,
     sketch_rank: Option<usize>,
 ) -> Vec<Scenario> {
+    all_scenarios_with_sketch_opts(scale, base_seed, mode, sim_threads, sketch_rank, false)
+}
+
+/// [`all_scenarios_with_sketch_rank`] plus the `--sketch-pipeline`
+/// knob: `sketch_pipeline` runs every `exp_modes` sketch on the
+/// dedicated [`trix_obs::PipelinedSketch`] worker instead of inline on
+/// the observer thread. Results are byte-identical either way — the
+/// worker replays the exact serial row stream — so, like `sim_threads`,
+/// the knob only trades wall time (CI `cmp`s the canonical JSON with it
+/// on and off).
+pub fn all_scenarios_with_sketch_opts(
+    scale: Scale,
+    base_seed: u64,
+    mode: TraceMode,
+    sim_threads: usize,
+    sketch_rank: Option<usize>,
+    sketch_pipeline: bool,
+) -> Vec<Scenario> {
     let mut scenarios = Vec::new();
     if mode == TraceMode::NoTrace {
         // Streaming twins: every experiment contributes its grid
@@ -185,6 +203,7 @@ pub fn all_scenarios_with_sketch_rank(
             base_seed,
             sim_threads,
             sketch_rank,
+            sketch_pipeline,
         ));
         return scenarios;
     }
@@ -236,6 +255,7 @@ pub fn all_scenarios_with_sketch_rank(
         base_seed,
         sim_threads,
         sketch_rank,
+        sketch_pipeline,
     ));
     scenarios
 }

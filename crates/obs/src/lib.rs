@@ -39,9 +39,16 @@
 //! streamed statistics. None of these monitors needs to be thread-safe:
 //! every dataflow engine — including the barrier-free frontier
 //! scheduler behind `trix_sim::run_dataflow_parallel` — flushes
-//! emissions on the calling thread in the serial `(k, layer, v)` order,
-//! so observers see one stream with a fixed order regardless of
-//! `--sim-threads`.
+//! emissions on the calling thread in the serial `(k, layer, v)` order
+//! (whole rows through [`Observer::on_pulse_row`], whose default unpacks
+//! them element-wise), so observers see one stream with a fixed order
+//! regardless of `--sim-threads`. The one deliberate exception is
+//! [`PipelinedSketch`], which moves a [`PodSketch`]'s arithmetic off the
+//! critical path: the calling thread still *observes* inline and in
+//! order, but only to copy each row over a bounded channel to a
+//! dedicated worker that replays the identical stream through the
+//! identical code — so the finished sketch stays byte-identical to an
+//! inline one.
 //!
 //! # Examples
 //!
@@ -110,6 +117,7 @@ mod attributed;
 pub mod defs;
 mod des_monitor;
 mod full;
+mod pipeline;
 mod ring;
 mod sketch;
 mod streaming;
@@ -117,6 +125,7 @@ mod streaming;
 pub use attributed::{FaultClassSkew, FaultClassStats};
 pub use des_monitor::DesSkew;
 pub use full::FullTrace;
+pub use pipeline::PipelinedSketch;
 pub use ring::{TraceEvent, TraceRing};
 pub use sketch::{PodSketch, PodSnapshot};
 pub use streaming::{Histogram, RunningStat, SkewStats, StreamingSkew};

@@ -272,7 +272,13 @@ impl PodSketch {
             "column range out of bounds"
         );
         let cols = range.end - range.start;
-        let block = rank.max(8);
+        // Panel size trades the Jacobi core against flush frequency: each
+        // flush factors an (r + b_p)-column core whose cost grows superlinearly
+        // in the panel, so at high ranks half-rank panels are cheaper per row
+        // even though they flush twice as often.  The floor of 8 keeps small
+        // ranks on the seed schedule — shrinking it further multiplies the
+        // per-flush `discarded` terms and visibly loosens the certificate.
+        let block = (rank / 2).max(8);
         Self {
             max_rank: rank,
             col_start: range.start,
@@ -303,10 +309,23 @@ impl PodSketch {
     ///
     /// Each node's `k`-th broadcast is its pulse-`k` entry; rows buffer
     /// out of order and are ingested in `(k, layer)` order as soon as
-    /// the earliest pending front completes (incomplete fronts flush,
-    /// zero-filled, at [`PodSketch::finish`]). In a converged execution
+    /// the earliest pending front completes. In a converged execution
     /// only a few fronts are ever pending, so memory stays
     /// `O(width × r)`.
+    ///
+    /// # Truncated executions
+    ///
+    /// A run that stops mid-pulse (horizon reached, oracle violation,
+    /// fault campaign silencing nodes) leaves trailing
+    /// partially-assembled fronts in the reorder buffer. These are
+    /// **never silently dropped**: [`PodSketch::finish`] flushes every
+    /// pending front in `(k, layer)` order with the unheard nodes
+    /// zero-filled — the same convention misfires get in the dataflow
+    /// row stream — so [`PodSketch::rows`] counts them, their energy
+    /// enters the certificate, and a truncated run's snapshot is
+    /// bit-identical to a direct sketch of the explicitly zero-filled
+    /// front matrix (pinned by
+    /// `des_adapter_flushes_trailing_partial_fronts_on_finish`).
     ///
     /// # Panics
     ///
@@ -407,13 +426,19 @@ impl PodSketch {
 
         // Coefficients of each pending row on the current basis, with
         // one re-orthogonalization pass (classical twice-is-enough);
-        // pending rows become residuals in place.
+        // pending rows become residuals in place. The mode loop is
+        // outermost so each basis vector streams through the whole
+        // pending panel while cache-hot (panel × basis blocked kernel).
+        // Bit-identity with the row-outer order is structural: the
+        // updates to row `i` are a pure function of that row's own
+        // history (modes are read-only here), and row `i` still meets
+        // the modes in the same `pass → j` sequence.
         let mut coeff = vec![0.0; b * m];
         for _pass in 0..2 {
-            for i in 0..b {
-                let row = &mut self.pending[i * w..(i + 1) * w];
-                for j in 0..m {
-                    let u = &self.basis[j * w..(j + 1) * w];
+            for j in 0..m {
+                let u = &self.basis[j * w..(j + 1) * w];
+                for i in 0..b {
+                    let row = &mut self.pending[i * w..(i + 1) * w];
                     let c = dot(u, row);
                     coeff[i * m + j] += c;
                     for (r, &uv) in row.iter_mut().zip(u) {
@@ -695,6 +720,40 @@ impl Observer for PodSketch {
         self.row[v - self.col_start] = t.as_f64();
     }
 
+    /// Row fast path: one key check and one dense fill per `(k, layer)`
+    /// front instead of a dispatch + range check per element. Rows with
+    /// no emission inside the sketch's column range contribute nothing
+    /// (exactly as the per-element path, where such a front never opens
+    /// a row), so the ingest sequence — and therefore every block
+    /// boundary and the final certificate — is bit-identical to feeding
+    /// the same stream through [`Observer::on_pulse`].
+    fn on_pulse_row(&mut self, k: usize, layer: u32, row: &[Option<Time>]) {
+        debug_assert!(
+            row.len() >= self.col_start + self.cols,
+            "row must cover the sketch's column range"
+        );
+        let span = &row[self.col_start..self.col_start + self.cols];
+        if !span.iter().any(Option::is_some) {
+            return;
+        }
+        debug_assert!(
+            self.cur.is_none_or(|c| c < (k, layer)),
+            "pulse emissions must arrive front-row-major"
+        );
+        // Complete any element-assembled predecessor, then ingest this
+        // row immediately: with whole-row emission nothing can arrive
+        // between "row complete" and "next row opens", so eager ingest
+        // preserves the element path's ingest order.
+        self.flush_row();
+        for (slot, t) in self.row.iter_mut().zip(span) {
+            *slot = t.map_or(0.0, Time::as_f64);
+        }
+        let buf = std::mem::take(&mut self.row);
+        self.ingest_row(&buf);
+        self.row = buf;
+        self.row.fill(0.0);
+    }
+
     fn on_broadcast(&mut self, node: usize, t: Time) {
         let Some(des) = self.des.as_mut() else {
             return;
@@ -973,6 +1032,46 @@ mod tests {
         direct.push_row(&[20.0, 21.0, 22.0]);
         direct.push_row(&[40.0, 0.0, 0.0]);
         direct.finish();
+        assert_eq!(des.snapshot(), direct.snapshot());
+    }
+
+    /// The documented flush-on-finish contract for truncated runs: a
+    /// stream that ends with several partially-assembled fronts (here a
+    /// complete pulse 0 and a pulse 1 heard from only two nodes across
+    /// two layers) flushes them zero-filled in `(k, layer)` order
+    /// rather than dropping them — row count, energy, and the whole
+    /// snapshot match a direct sketch of the explicit matrix.
+    #[test]
+    fn des_adapter_flushes_trailing_partial_fronts_on_finish() {
+        let g = grid(3, 2);
+        let mut des = PodSketch::for_des_grid(&g, 1, 2);
+        // Complete pulse-0 fronts for both layers (ids 1..=6)...
+        for (idx, t) in [10.0, 11.0, 12.0, 20.0, 21.0, 22.0].iter().enumerate() {
+            des.on_broadcast(1 + idx, Time::from(*t));
+        }
+        // ...then a truncated pulse 1: only (v=1, ℓ=0) and (v=2, ℓ=1)
+        // get their broadcasts out before the run stops.
+        des.on_broadcast(2, Time::from(41.0));
+        des.on_broadcast(6, Time::from(52.0));
+        assert_eq!(
+            des.rows(),
+            2,
+            "only the complete pulse-0 fronts ingested so far"
+        );
+        des.finish();
+        assert_eq!(
+            des.rows(),
+            4,
+            "both trailing partial fronts flushed, not dropped"
+        );
+
+        let mut direct = PodSketch::new(&g, 2);
+        direct.push_row(&[10.0, 11.0, 12.0]);
+        direct.push_row(&[20.0, 21.0, 22.0]);
+        direct.push_row(&[0.0, 41.0, 0.0]); // (k=1, ℓ=0), zero-filled
+        direct.push_row(&[0.0, 0.0, 52.0]); // (k=1, ℓ=1), zero-filled
+        direct.finish();
+        assert_eq!(des.total_energy(), direct.total_energy());
         assert_eq!(des.snapshot(), direct.snapshot());
     }
 

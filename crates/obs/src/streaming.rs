@@ -492,6 +492,31 @@ impl Observer for StreamingSkew {
         self.cur[i] = Some(t);
         self.started = true;
     }
+
+    /// Row fast path: one pulse-major check and one slice splice per
+    /// layer instead of a dispatch + index computation per element.
+    /// All-`None` rows are skipped outright (the element default would
+    /// forward nothing), so the state trajectory — including when the
+    /// internal `advance` step finalizes a pulse — is bit-identical to
+    /// the per-element path.
+    fn on_pulse_row(&mut self, k: usize, layer: u32, row: &[Option<Time>]) {
+        if !row.iter().any(Option::is_some) {
+            return;
+        }
+        debug_assert!(!self.finished, "pulse after finish()");
+        debug_assert!(k >= self.cur_k, "pulse emissions must be pulse-major");
+        debug_assert_eq!(row.len(), self.g.width(), "row is one full layer");
+        while k > self.cur_k {
+            self.advance();
+        }
+        let base = layer as usize * self.g.width();
+        for (slot, t) in self.cur[base..base + row.len()].iter_mut().zip(row) {
+            if t.is_some() {
+                *slot = *t;
+            }
+        }
+        self.started = true;
+    }
 }
 
 #[cfg(test)]

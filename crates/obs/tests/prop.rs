@@ -10,7 +10,9 @@
 //! `trix_analysis::skew` across the experiment suite.
 
 use proptest::prelude::*;
-use trix_obs::{defs, FullTrace, PodSketch, PodSnapshot, StreamingSkew};
+use trix_obs::{
+    defs, DesSkew, FullTrace, Observer, PodSketch, PodSnapshot, StreamingSkew, TraceRing,
+};
 use trix_sim::{
     run_dataflow_barrier, run_dataflow_observed, run_dataflow_parallel, CorrectSends, OffsetLayer0,
     PulseRule, PulseTrace, Rng, SendModel, StaticEnvironment,
@@ -62,6 +64,27 @@ impl SendModel for Silence {
 
     fn is_faulty(&self, node: NodeId) -> bool {
         node == self.0
+    }
+}
+
+/// Forwards the element-level hooks but deliberately does NOT override
+/// `on_pulse_row`, so the trait's *default* row unpacking feeds the
+/// wrapped observer element-wise — the "element path" side of the
+/// row-vs-element equivalence property. (Native row fast paths are the
+/// "row path" side; both must be bit-identical.)
+struct PerElement<O>(O);
+
+impl<O: Observer> Observer for PerElement<O> {
+    fn on_faulty(&mut self, node: NodeId) {
+        self.0.on_faulty(node);
+    }
+
+    fn on_pulse(&mut self, k: usize, node: NodeId, t: Time) {
+        self.0.on_pulse(k, node, t);
+    }
+
+    fn on_broadcast(&mut self, node: usize, t: Time) {
+        self.0.on_broadcast(node, t);
     }
 }
 
@@ -406,6 +429,94 @@ proptest! {
             diff2.sqrt() <= tol,
             "reconstructions diverge: {} > {}", diff2.sqrt(), tol
         );
+    }
+
+    /// Row-hook/element-hook equivalence for every shipped observer:
+    /// driving the dataflow into the native observers (whole rows via
+    /// `on_pulse_row`, fanned out by the tuple forwarding impl) yields
+    /// states bit-identical to the same run behind [`PerElement`]
+    /// (default unpacking into `on_pulse`). Pins that the row fast
+    /// paths in `StreamingSkew`/`PodSketch` — and any added later —
+    /// are pure restatements of the element stream, including silent
+    /// (all-`None`) and partially-silent rows under faults.
+    #[test]
+    fn row_hook_equals_element_hook_for_every_observer(
+        seed in any::<u64>(),
+        width in 3usize..10,
+        layers in 2usize..6,
+        pulses in 1usize..4,
+        cycle in any::<bool>(),
+        fault in any::<bool>(),
+        rank in 1usize..5,
+    ) {
+        let base = if cycle {
+            BaseGraph::cycle(width)
+        } else {
+            BaseGraph::line_with_replicated_ends(width)
+        };
+        let g = LayeredGraph::new(base, layers);
+        let mut rng = Rng::seed_from(seed);
+        let env = StaticEnvironment::random(
+            &g,
+            Duration::from(10.0),
+            Duration::from(2.0),
+            1.05,
+            &mut rng,
+        );
+        let offsets: Vec<f64> = (0..g.width()).map(|_| rng.f64_in(0.0, 3.0)).collect();
+        let layer0 = OffsetLayer0::new(25.0, offsets);
+        let bad = g.node(rng.usize_below(g.width()), 1 + rng.usize_below(g.layer_count() - 1));
+
+        let observers = || {
+            (
+                StreamingSkew::new(&g),
+                (
+                    PodSketch::new(&g, rank),
+                    // DesSkew is broadcast-fed: the dataflow row stream
+                    // must leave it untouched on BOTH paths (its
+                    // `on_pulse` is the default no-op).
+                    (TraceRing::new(16), DesSkew::for_grid(&g, 1, Duration::from(10.0))),
+                ),
+            )
+        };
+        let drive = |mut obs: &mut dyn Observer| {
+            if fault {
+                run_dataflow_observed(&g, &env, &layer0, &MaxPlus, &Silence(bad), pulses, &mut obs);
+            } else {
+                run_dataflow_observed(&g, &env, &layer0, &MaxPlus, &CorrectSends, pulses, &mut obs);
+            }
+        };
+
+        let mut row = observers();
+        drive(&mut row);
+        let mut elem = PerElement(observers());
+        drive(&mut elem);
+
+        let (mut skew_r, (mut pod_r, (ring_r, des_r))) = row;
+        let PerElement((mut skew_e, (mut pod_e, (ring_e, des_e)))) = elem;
+        skew_r.finish();
+        skew_e.finish();
+        pod_r.finish();
+        pod_e.finish();
+
+        prop_assert_eq!(skew_r.snapshot(), skew_e.snapshot());
+        let snap_r = pod_r.snapshot();
+        let snap_e = pod_e.snapshot();
+        prop_assert_eq!(snap_r.rows, snap_e.rows);
+        prop_assert_eq!(
+            snap_r.singular_values.iter().map(|s| s.to_bits()).collect::<Vec<u64>>(),
+            snap_e.singular_values.iter().map(|s| s.to_bits()).collect::<Vec<u64>>()
+        );
+        prop_assert_eq!(
+            snap_r.basis.iter().map(|b| b.to_bits()).collect::<Vec<u64>>(),
+            snap_e.basis.iter().map(|b| b.to_bits()).collect::<Vec<u64>>()
+        );
+        prop_assert_eq!(snap_r.error_bound.to_bits(), snap_e.error_bound.to_bits());
+        prop_assert_eq!(ring_r.total_recorded(), ring_e.total_recorded());
+        prop_assert_eq!(ring_r.recent(16), ring_e.recent(16));
+        prop_assert_eq!(des_r.max_intra(), des_e.max_intra());
+        prop_assert_eq!(des_r.intra().count(), des_e.intra().count());
+        prop_assert_eq!(des_r.intra().count(), 0);
     }
 
     /// Engine-independence of the sketch: serial, barrier, and frontier

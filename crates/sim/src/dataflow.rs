@@ -222,6 +222,15 @@ impl Observer for PulseTrace {
     fn on_pulse(&mut self, k: usize, node: NodeId, t: Time) {
         self.set_time(k, node, Some(t));
     }
+
+    /// Whole published rows land as one contiguous copy: slots start
+    /// `None` and each `(k, layer)` row is emitted exactly once, so
+    /// copying the full `Option` row (misfires included) records the
+    /// same state as the per-element default.
+    fn on_pulse_row(&mut self, k: usize, layer: u32, row: &[Option<Time>]) {
+        let base = k * self.width * self.layer_count + layer as usize * self.width;
+        self.times[base..base + row.len()].copy_from_slice(row);
+    }
 }
 
 /// Runs a pulse-forwarding rule on the layered graph for `pulses`
@@ -278,8 +287,11 @@ pub fn run_dataflow(
 /// two rows of `O(width)` working state — iteration `k` of layer `ℓ`
 /// depends only on iteration `k` of layer `ℓ − 1` (paper Lemma B.1) — so
 /// peak memory is independent of both the pulse count and the layer
-/// count. Emissions arrive in deterministic `(k, layer, v)` order;
-/// faulty positions are announced first.
+/// count. Each published row is emitted through
+/// [`Observer::on_pulse_row`] — whose default unpacks it into
+/// per-element [`Observer::on_pulse`] calls — so emissions arrive in
+/// deterministic `(k, layer, v)` order; faulty positions are announced
+/// first.
 pub fn run_dataflow_observed(
     g: &LayeredGraph,
     env: &impl Environment,
@@ -303,10 +315,9 @@ pub fn run_dataflow_observed(
     let mut scratch: Vec<Option<Time>> = Vec::with_capacity(csr.max_in_degree());
     for k in 0..pulses {
         for (v, slot) in prev.iter_mut().enumerate() {
-            let t = layer0.pulse_time(k, v);
-            *slot = Some(t);
-            obs.on_pulse(k, g.node(v, 0), t);
+            *slot = Some(layer0.pulse_time(k, v));
         }
+        obs.on_pulse_row(k, 0, &prev);
         for layer in 1..g.layer_count() {
             eval_layer_chunk(
                 g,
@@ -323,11 +334,7 @@ pub fn run_dataflow_observed(
                 &mut scratch,
             );
             crate::metrics::bump(g.width() as u64);
-            for (w, slot) in cur.iter().enumerate() {
-                if let Some(t) = *slot {
-                    obs.on_pulse(k, NodeId::new(w as u32, layer as u32), t);
-                }
-            }
+            obs.on_pulse_row(k, layer as u32, &cur);
             std::mem::swap(&mut prev, &mut cur);
         }
     }
@@ -594,10 +601,9 @@ pub fn run_dataflow_barrier(
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 let mut row = write_prev();
                 for (v, slot) in row.iter_mut().enumerate() {
-                    let t = layer0.pulse_time(k, v);
-                    *slot = Some(t);
-                    obs.on_pulse(k, g.node(v, 0), t);
+                    *slot = Some(layer0.pulse_time(k, v));
                 }
+                obs.on_pulse_row(k, 0, &row[..]);
             }));
             if let Err(e) = result {
                 report(e);
@@ -636,11 +642,7 @@ pub fn run_dataflow_barrier(
                             row[lo..hi].copy_from_slice(&lock_out(c));
                         }
                         crate::metrics::bump(width as u64);
-                        for (v, slot) in row.iter().enumerate() {
-                            if let Some(t) = *slot {
-                                obs.on_pulse(k, NodeId::new(v as u32, layer as u32), t);
-                            }
-                        }
+                        obs.on_pulse_row(k, layer as u32, &row[..]);
                     }));
                     if let Err(e) = result {
                         report(e);

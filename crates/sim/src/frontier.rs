@@ -65,7 +65,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use trix_time::Time;
-use trix_topology::{InEdgeCsr, LayeredGraph, LayeredView, NodeId};
+use trix_topology::{InEdgeCsr, LayeredGraph, LayeredView};
 
 /// Worker count a `threads == 0` knob resolves to when
 /// [`std::thread::available_parallelism`] fails (unsupported platform,
@@ -416,11 +416,7 @@ pub(crate) fn run_frontier(
                 if layer > 0 {
                     crate::metrics::bump(width as u64);
                 }
-                for (v, slot) in row.iter().enumerate() {
-                    if let Some(t) = *slot {
-                        obs.on_pulse(k, NodeId::new(v as u32, layer as u32), t);
-                    }
-                }
+                obs.on_pulse_row(k, layer as u32, &row);
                 progress.advance_flush(step);
             }
             Ok(())

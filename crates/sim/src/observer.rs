@@ -13,10 +13,14 @@
 //!
 //! Both engines report here:
 //!
-//! * the dataflow executor ([`crate::run_dataflow_observed`]) calls
-//!   [`Observer::on_pulse`] with the `(iteration, node, nominal time)` of
-//!   every fired pulse, in deterministic `(k, layer, v)` order, after
-//!   announcing faulty positions via [`Observer::on_faulty`];
+//! * the dataflow executors ([`crate::run_dataflow_observed`] and the
+//!   parallel drivers) call [`Observer::on_pulse_row`] with each whole
+//!   published layer row, one call per `(k, layer)` step in
+//!   deterministic serial order, after announcing faulty positions via
+//!   [`Observer::on_faulty`]; the default `on_pulse_row` unpacks the row
+//!   into per-element [`Observer::on_pulse`] calls in ascending `v`
+//!   order, so element-level observers see the classic
+//!   `(iteration, node, nominal time)` stream unchanged;
 //! * the event-driven engine ([`crate::Des::run_observed`]) calls
 //!   [`Observer::on_broadcast`] with the engine node index and real time
 //!   of every broadcast, in event order.
@@ -50,6 +54,25 @@ pub trait Observer {
         let _ = (k, node, t);
     }
 
+    /// One whole published layer row: `row[v]` is the nominal time of
+    /// node `(v, layer)` in iteration `k`, `None` where the rule
+    /// misfired. All three dataflow engines emit through this hook, one
+    /// call per `(k, layer)` step, in the serial step order.
+    ///
+    /// The default forwards each `Some` entry to [`Observer::on_pulse`]
+    /// in ascending `v` order — exactly the per-element stream the
+    /// engines used to emit — so element-level observers need no change.
+    /// Row-oriented observers (e.g. `trix-obs`'s `StreamingSkew` and
+    /// `PodSketch`) override it to consume the row wholesale, skipping
+    /// one dispatch and bounds check per element.
+    fn on_pulse_row(&mut self, k: usize, layer: u32, row: &[Option<Time>]) {
+        for (v, slot) in row.iter().enumerate() {
+            if let Some(t) = *slot {
+                self.on_pulse(k, NodeId::new(v as u32, layer), t);
+            }
+        }
+    }
+
     /// Engine node `node` broadcast at real time `t` (event-driven
     /// engine). Node indices are raw engine ids; adapters such as
     /// `trix-obs`'s grid monitors translate them to grid positions.
@@ -75,6 +98,10 @@ impl<O: Observer + ?Sized> Observer for &mut O {
         (**self).on_pulse(k, node, t);
     }
 
+    fn on_pulse_row(&mut self, k: usize, layer: u32, row: &[Option<Time>]) {
+        (**self).on_pulse_row(k, layer, row);
+    }
+
     fn on_broadcast(&mut self, node: usize, t: Time) {
         (**self).on_broadcast(node, t);
     }
@@ -91,6 +118,11 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn on_pulse(&mut self, k: usize, node: NodeId, t: Time) {
         self.0.on_pulse(k, node, t);
         self.1.on_pulse(k, node, t);
+    }
+
+    fn on_pulse_row(&mut self, k: usize, layer: u32, row: &[Option<Time>]) {
+        self.0.on_pulse_row(k, layer, row);
+        self.1.on_pulse_row(k, layer, row);
     }
 
     fn on_broadcast(&mut self, node: usize, t: Time) {
@@ -131,6 +163,40 @@ mod tests {
         for c in [&pair.0, &pair.1] {
             assert_eq!((c.faulty, c.pulses, c.broadcasts), (1, 1, 1));
         }
+    }
+
+    /// The default row hook unpacks `Some` entries into per-element
+    /// `on_pulse` calls, in ascending `v` order, skipping misfires.
+    #[test]
+    fn default_row_hook_forwards_elements_in_order() {
+        #[derive(Default)]
+        struct Events(Vec<(usize, NodeId, Time)>);
+        impl Observer for Events {
+            fn on_pulse(&mut self, k: usize, node: NodeId, t: Time) {
+                self.0.push((k, node, t));
+            }
+        }
+        let mut e = Events::default();
+        let row = [Some(Time::from(1.0)), None, Some(Time::from(3.0))];
+        e.on_pulse_row(2, 5, &row);
+        assert_eq!(
+            e.0,
+            vec![
+                (2, NodeId::new(0, 5), Time::from(1.0)),
+                (2, NodeId::new(2, 5), Time::from(3.0)),
+            ]
+        );
+        // Forwarding impls carry the row hook through.
+        let mut pair = (Events::default(), Events::default());
+        pair.on_pulse_row(0, 1, &row);
+        assert_eq!(pair.0 .0.len(), 2);
+        assert_eq!(pair.1 .0.len(), 2);
+        let mut single = Events::default();
+        {
+            let r: &mut Events = &mut single;
+            Observer::on_pulse_row(&mut { r }, 0, 0, &row);
+        }
+        assert_eq!(single.0.len(), 2);
     }
 
     #[test]

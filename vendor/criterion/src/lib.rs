@@ -7,13 +7,34 @@
 //! groups, `Bencher::iter`/`iter_batched`, `BatchSize`, and `Throughput`.
 //!
 //! Statistics are intentionally simple — each benchmark is warmed up once
-//! and then timed over a fixed number of batches, reporting the mean and
-//! min per-iteration wall time. The goal is a working `cargo bench`
-//! (and `cargo bench --no-run` in CI) without the plotting/analysis
-//! machinery of upstream criterion.
+//! and then timed over a fixed number of batches, reporting the mean,
+//! median, and min per-iteration wall time. The goal is a working
+//! `cargo bench` (and `cargo bench --no-run` in CI) without the
+//! plotting/analysis machinery of upstream criterion.
+//!
+//! # Filtering
+//!
+//! Like upstream criterion, a positional argument is a benchmark-id
+//! substring filter: `cargo bench -- sketch_overhead` runs only the
+//! benchmarks whose full id contains `sketch_overhead`. Skipped
+//! benchmarks are neither timed nor recorded.
+//!
+//! # Machine-readable output
+//!
+//! Beyond the human-readable `println!` lines, the harness records every
+//! benchmark in a process-global registry, and [`criterion_main!`]'s
+//! generated `main` flushes it as JSON when the bench binary is invoked
+//! with `--json PATH` (i.e. `cargo bench -- --json BENCH_micro.json`).
+//! `--canonical` zeroes the volatile wall-time fields (`mean_ns`,
+//! `median_ns`, `min_ns`, and the calibrated `iters`), leaving a
+//! byte-comparable skeleton — the same convention the experiment
+//! suite's `BENCH_*.json` reports use — so hot-loop numbers can be
+//! tracked (and their *shape* gated) across commits instead of living
+//! only in README prose.
 //!
 //! [`criterion`]: https://crates.io/crates/criterion
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// How setup results are batched in [`Bencher::iter_batched`].
@@ -161,10 +182,56 @@ impl Bencher {
     }
 }
 
+/// One finished benchmark, as recorded in the process-global registry
+/// and (optionally) flushed to `--json`.
+#[derive(Clone, Debug)]
+struct BenchRecord {
+    id: String,
+    mean_ns: u128,
+    median_ns: u128,
+    min_ns: u128,
+    iters: u64,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+fn registry() -> &'static Mutex<Vec<BenchRecord>> {
+    static REGISTRY: OnceLock<Mutex<Vec<BenchRecord>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The benchmark-id substring filter, mirroring upstream criterion's
+/// positional argument (`cargo bench -- <substring>`): the first CLI
+/// argument that is neither a recognized flag, a flag's value, nor one
+/// of cargo's own (`--bench`, the binary hash). `None` runs everything.
+fn filter() -> Option<&'static str> {
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    FILTER
+        .get_or_init(|| {
+            let mut it = std::env::args().skip(1);
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--json" => {
+                        it.next();
+                    }
+                    a if a.starts_with('-') => {}
+                    a => return Some(a.to_string()),
+                }
+            }
+            None
+        })
+        .as_deref()
+}
+
 fn run_bench<F>(id: &str, sample_size: usize, throughput: Option<Throughput>, f: &mut F)
 where
     F: FnMut(&mut Bencher),
 {
+    if let Some(f) = filter() {
+        if !id.contains(f) {
+            return;
+        }
+    }
     // Warm-up + calibration: a single iteration to estimate cost.
     let mut b = Bencher {
         iters: 1,
@@ -182,7 +249,7 @@ where
     let target = Duration::from_millis(50);
     let iters = ((target.as_nanos() / warmup.as_nanos().max(1)) as u64).clamp(1, 10_000);
 
-    let mut best = Duration::MAX;
+    let mut per_iter_ns: Vec<u128> = Vec::with_capacity(sample_size);
     let mut total = Duration::ZERO;
     let mut total_iters = 0u64;
     for _ in 0..sample_size {
@@ -192,8 +259,7 @@ where
         };
         f(&mut b);
         if let Some(s) = b.sample {
-            let per_iter = s.total / s.iters.max(1) as u32;
-            best = best.min(per_iter);
+            per_iter_ns.push(s.total.as_nanos() / u128::from(s.iters.max(1)));
             total += s.total;
             total_iters += s.iters;
         }
@@ -203,16 +269,168 @@ where
     } else {
         Duration::ZERO
     };
+    let best = per_iter_ns.iter().copied().min().unwrap_or(0);
+    // Criterion-style robust center: median of the per-sample means
+    // (midpoint average for even sample counts).
+    per_iter_ns.sort_unstable();
+    let median = match per_iter_ns.len() {
+        0 => 0,
+        n if n % 2 == 1 => per_iter_ns[n / 2],
+        n => (per_iter_ns[n / 2 - 1] + per_iter_ns[n / 2]) / 2,
+    };
+    let best_d = Duration::from_nanos(best as u64);
     match throughput {
         Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
             let rate = n as f64 / mean.as_secs_f64();
-            println!("bench {id:<40} mean {mean:>12?}  min {best:>12?}  {rate:.0} elem/s");
+            println!("bench {id:<40} mean {mean:>12?}  min {best_d:>12?}  {rate:.0} elem/s");
         }
         Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
             let rate = n as f64 / mean.as_secs_f64();
-            println!("bench {id:<40} mean {mean:>12?}  min {best:>12?}  {rate:.0} B/s");
+            println!("bench {id:<40} mean {mean:>12?}  min {best_d:>12?}  {rate:.0} B/s");
         }
-        _ => println!("bench {id:<40} mean {mean:>12?}  min {best:>12?}"),
+        _ => println!("bench {id:<40} mean {mean:>12?}  min {best_d:>12?}"),
+    }
+    registry()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push(BenchRecord {
+            id: id.to_string(),
+            mean_ns: mean.as_nanos(),
+            median_ns: median,
+            min_ns: best,
+            iters,
+            samples: per_iter_ns.len(),
+            throughput,
+        });
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the registry as deterministic JSON (registration order, which
+/// is the groups' execution order). `canonical` zeroes every wall-time
+/// field and the calibrated iteration count, so two runs of the same
+/// bench binary produce byte-identical files.
+fn render_report(canonical: bool) -> String {
+    let records = registry().lock().unwrap_or_else(|p| p.into_inner());
+    let mut out = String::from("{\n  \"schema_version\": 1,\n  \"benches\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let (mean, median, min, iters) = if canonical {
+            (0, 0, 0, 0)
+        } else {
+            (r.mean_ns, r.median_ns, r.min_ns, u128::from(r.iters))
+        };
+        let throughput = match r.throughput {
+            Some(Throughput::Elements(n)) => format!(", \"elements\": {n}"),
+            Some(Throughput::Bytes(n)) => format!(", \"bytes\": {n}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {mean}, \"median_ns\": {median}, \
+             \"min_ns\": {min}, \"iters\": {iters}, \"samples\": {}{throughput}}}{}\n",
+            json_escape(&r.id),
+            r.samples,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Called by the `main` that [`criterion_main!`] generates, after all
+/// groups ran: honors `--json PATH` (write the registry as JSON) and
+/// `--canonical` (zero the volatile fields first) from the bench
+/// binary's CLI (`cargo bench -- --json BENCH_micro.json --canonical`).
+/// All other arguments — including the `--bench` cargo appends — are
+/// ignored, matching upstream criterion's tolerance.
+///
+/// # Panics
+///
+/// Panics if `--json` is passed without a path or the file cannot be
+/// written.
+pub fn flush_reports() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let canonical = args.iter().any(|a| a == "--canonical");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--json" {
+            let path = it.next().expect("--json requires a path");
+            std::fs::write(path, render_report(canonical)).expect("write bench JSON");
+            eprintln!("wrote bench registry to {path}");
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A single test owns the process-global registry (tests share a
+    /// process, so separate registry tests would race each other).
+    #[test]
+    fn report_is_deterministic_and_canonical_zeroes_wall_fields() {
+        // run_bench end-to-end with a trivial closure: it must append a
+        // registry record with sane ordering between the statistics.
+        run_bench("selftest/noop", 3, None, &mut |b: &mut Bencher| {
+            b.iter(|| std::hint::black_box(1u64 + 1))
+        });
+        {
+            let reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+            let rec = reg
+                .iter()
+                .find(|r| r.id == "selftest/noop")
+                .expect("run_bench registers its record");
+            assert_eq!(rec.samples, 3);
+            assert!(rec.min_ns <= rec.median_ns);
+            assert!(rec.iters >= 1);
+        }
+        {
+            let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+            reg.clear();
+            reg.push(BenchRecord {
+                id: "group/first \"quoted\"".into(),
+                mean_ns: 1_234,
+                median_ns: 1_200,
+                min_ns: 1_100,
+                iters: 42,
+                samples: 10,
+                throughput: Some(Throughput::Elements(384)),
+            });
+            reg.push(BenchRecord {
+                id: "group/second".into(),
+                mean_ns: 9,
+                median_ns: 8,
+                min_ns: 7,
+                iters: 10_000,
+                samples: 20,
+                throughput: None,
+            });
+        }
+        let live = render_report(false);
+        assert!(live.contains("\"schema_version\": 1"));
+        assert!(live.contains("\"id\": \"group/first \\\"quoted\\\"\""));
+        assert!(live.contains("\"mean_ns\": 1234"));
+        assert!(live.contains("\"elements\": 384"));
+        assert!(live.contains("\"iters\": 10000"));
+
+        let canon = render_report(true);
+        assert!(canon.contains("\"mean_ns\": 0, \"median_ns\": 0, \"min_ns\": 0, \"iters\": 0"));
+        // Structure (ids, sample counts, throughput) survives canonicalization.
+        assert!(canon.contains("\"samples\": 10"));
+        assert!(canon.contains("\"elements\": 384"));
+        assert!(!canon.contains("1234"));
+        assert_eq!(canon, render_report(true), "canonical render is stable");
     }
 }
 
@@ -234,12 +452,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Defines the bench `main`, mirroring `criterion_main!`.
+/// Defines the bench `main`, mirroring `criterion_main!`. After every
+/// group runs, the collected results are flushed via
+/// [`flush_reports`] (the `--json`/`--canonical` sink).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::flush_reports();
         }
     };
 }
