@@ -19,6 +19,7 @@ pub mod common;
 pub mod suite;
 
 pub mod exp_adversary;
+pub mod exp_churn;
 pub mod exp_cor423;
 pub mod exp_ext_f2;
 pub mod exp_fault_sweep;
@@ -205,6 +206,8 @@ pub fn all_scenarios_with_sketch_opts(
             sketch_rank,
             sketch_pipeline,
         ));
+        // §23 Open-world churn sweep (streaming-only in both modes).
+        scenarios.extend(exp_churn::scenarios(scale, base_seed, sim_threads));
         return scenarios;
     }
     // §1 Table 1.
@@ -257,6 +260,8 @@ pub fn all_scenarios_with_sketch_opts(
         sketch_rank,
         sketch_pipeline,
     ));
+    // §23 Open-world churn sweep (streaming-only in both modes).
+    scenarios.extend(exp_churn::scenarios(scale, base_seed, sim_threads));
     scenarios
 }
 
@@ -303,7 +308,7 @@ mod tests {
     #[test]
     fn quick_run_produces_all_tables() {
         let outcome = run_suite(Scale::Quick, 0, 1, TraceMode::Full, 1);
-        assert_eq!(outcome.tables.len(), 24);
+        assert_eq!(outcome.tables.len(), 25);
         for t in &outcome.tables {
             assert!(!t.is_empty(), "empty table: {}", t.to_markdown());
         }
@@ -334,7 +339,7 @@ mod tests {
     #[test]
     fn smoke_run_is_complete_and_small() {
         let outcome = run_suite(Scale::Smoke, 0, 0, TraceMode::Full, 1);
-        assert_eq!(outcome.tables.len(), 24);
+        assert_eq!(outcome.tables.len(), 25);
         for t in &outcome.tables {
             assert!(!t.is_empty());
         }
@@ -356,8 +361,8 @@ mod tests {
             .map(|r| r.experiment.as_str())
             .collect();
         experiments.dedup();
-        assert_eq!(experiments.len(), 22);
-        assert_eq!(experiments.last(), Some(&"exp_modes"));
+        assert_eq!(experiments.len(), 23);
+        assert_eq!(experiments.last(), Some(&"exp_churn"));
         // The whole point of the mode: every record carries streaming
         // skew statistics, and every simulated scenario counted events.
         for r in &outcome.report.records {

@@ -74,6 +74,10 @@ pub struct Scenario {
     /// (`None` for the pre-family grid scenarios). Stamped into the
     /// benchmark record (schema v6).
     topology: Option<String>,
+    /// Churn-campaign descriptor the job declared (`None` for
+    /// closed-world scenarios). Stamped into the benchmark record
+    /// (schema v8).
+    churn: Option<String>,
     job: Job,
 }
 
@@ -98,6 +102,7 @@ impl Scenario {
             sim_threads: 1,
             campaign: None,
             topology: None,
+            churn: None,
             job: Box::new(move || job().into()),
         }
     }
@@ -125,6 +130,15 @@ impl Scenario {
     /// graph shape the way it groups fault records by campaign.
     pub fn with_topology(mut self, descriptor: impl Into<String>) -> Self {
         self.topology = Some(descriptor.into());
+        self
+    }
+
+    /// Declares the churn-campaign descriptor this scenario's job runs
+    /// under — stamped into its benchmark record (schema v8), so
+    /// trajectory tooling can group records by membership dynamics the
+    /// way it groups them by fault campaign.
+    pub fn with_churn(mut self, descriptor: impl Into<String>) -> Self {
+        self.churn = Some(descriptor.into());
         self
     }
 
@@ -246,6 +260,7 @@ pub fn run_scenarios(
             sim_threads,
             campaign,
             topology,
+            churn,
             job,
         } = scenario;
         trix_sim::metrics::reset();
@@ -266,6 +281,7 @@ pub fn run_scenarios(
             skew: result.skew,
             campaign,
             topology,
+            churn,
             sketch: result.sketch,
             wall_secs,
         };
@@ -404,6 +420,26 @@ mod tests {
             .report
             .to_json()
             .contains("\"topology\": \"v1 torus rows=3 cols=3 n=9 m=18 deg=4..4 D=2\""));
+    }
+
+    /// Churn descriptors (schema v8) ride the scenario into its record;
+    /// closed-world scenarios without one truthfully record `null`.
+    #[test]
+    fn records_carry_churn_descriptors() {
+        let scenarios = vec![
+            shard("plain", 1),
+            shard("open-world", 2).with_churn("flicker r=0.05 grid w=12"),
+        ];
+        let out = run_scenarios(scenarios, Scale::Smoke, 0, 1);
+        assert_eq!(out.report.records[0].churn, None);
+        assert_eq!(
+            out.report.records[1].churn.as_deref(),
+            Some("flicker r=0.05 grid w=12")
+        );
+        assert!(out
+            .report
+            .to_json()
+            .contains("\"churn\": \"flicker r=0.05 grid w=12\""));
     }
 
     #[test]

@@ -95,6 +95,91 @@ impl Node for CrashRecoverDesNode {
     }
 }
 
+/// Timer tag reserved by [`NewArrivalDesNode`] for its join alarm.
+///
+/// Like [`REJOIN_TAG`], it is ≡ 3 (mod 4) so it can never collide with
+/// a forwarded [`GradientTrixNode`] timer (`generation · 4 + kind`,
+/// `kind < 3`).
+const JOIN_TAG: u64 = u64::MAX - 4;
+
+/// A genuinely *new* arrival — the open-world half of a
+/// [`crate::ChurnSchedule::JoinAt`] event, extending
+/// [`CrashRecoverDesNode`] from "came back" to "was never here".
+///
+/// A crash–recover node reboots with garbage referenced to *now*; a new
+/// arrival is worse: it boots from **stale** state — registers cloned
+/// from a snapshot `stale_age` old (a peer's cached profile, a
+/// checkpoint from before the outage that made it leave), then
+/// scrambled. Its recorded `H_min`/`H_max` reception extremes point an
+/// epoch into the past, so the very first genuine pulses it hears
+/// invert them — exactly the inversion the Algorithm 4 sanitization in
+/// `exit_collecting` must absorb (the PR-2 regression, re-pinned for
+/// arrivals by `tests/des_faults.rs`).
+#[derive(Clone, Debug)]
+pub struct NewArrivalDesNode {
+    inner: GradientTrixNode,
+    join_at: LocalTime,
+    stale_age: Duration,
+    scramble_seed: u64,
+    joined: bool,
+}
+
+impl NewArrivalDesNode {
+    /// Creates a node that does not exist until local time `join_at`,
+    /// then boots `inner` from a scrambled snapshot referenced
+    /// `stale_age` before its join time (clamped to local time zero).
+    pub fn new(
+        inner: GradientTrixNode,
+        join_at: LocalTime,
+        stale_age: Duration,
+        scramble_seed: u64,
+    ) -> Self {
+        Self {
+            inner,
+            join_at,
+            stale_age,
+            scramble_seed,
+            joined: false,
+        }
+    }
+
+    /// Whether the node has arrived yet.
+    pub fn joined(&self) -> bool {
+        self.joined
+    }
+}
+
+impl Node for NewArrivalDesNode {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        api.set_timer_local(self.join_at, JOIN_TAG);
+    }
+
+    fn on_pulse(&mut self, from: usize, api: &mut NodeApi<'_>) {
+        if self.joined {
+            self.inner.on_pulse(from, api);
+        }
+        // Before arrival the node does not exist: receptions are lost.
+    }
+
+    fn on_timer(&mut self, tag: u64, api: &mut NodeApi<'_>) {
+        if tag == JOIN_TAG {
+            if !self.joined {
+                self.joined = true;
+                // Boot from a stale snapshot: scramble the registers
+                // around a reference time `stale_age` in the past.
+                let stale = LocalTime::ZERO.max(api.local_now() - self.stale_age);
+                self.inner
+                    .scramble(&mut Rng::seed_from(self.scramble_seed), stale);
+                self.inner.on_start(api);
+            }
+            return;
+        }
+        if self.joined {
+            self.inner.on_timer(tag, api);
+        }
+    }
+}
+
 /// A babbling node: broadcasts on its own fixed local period, ignoring all
 /// input. The period need not relate to `Λ`, so downstream nodes see
 /// arbitrarily timed spurious pulses.
@@ -208,6 +293,49 @@ pub fn crash_recover_network(
         );
         Some(Box::new(CrashRecoverDesNode::new(
             inner, rejoin_at, seeds[&id],
+        )))
+    })
+}
+
+/// Builds a [`GridNetwork`] in which the grid nodes listed in
+/// `arrivals` are genuinely *new*: nonexistent until their join time,
+/// then booting from a stale (`stale_age`-old), scrambled snapshot —
+/// the event-driven half of a [`crate::ChurnSchedule::JoinAt`] event
+/// (the dataflow half is the membership gate in the engines).
+///
+/// Each arrival's scramble seed derives deterministically from `rng`
+/// and its sorted position, so the run is a pure function of the
+/// inputs, exactly like [`crash_recover_network`].
+#[allow(clippy::too_many_arguments)] // crash_recover_network's signature + the staleness knob
+pub fn arrival_network(
+    g: &LayeredGraph,
+    params: &Params,
+    env: &StaticEnvironment,
+    cfg: GridNodeConfig,
+    source_pulses: u64,
+    arrivals: &std::collections::HashMap<NodeId, LocalTime>,
+    stale_age: Duration,
+    rng: &mut Rng,
+) -> GridNetwork {
+    let mut seed_rng = rng.fork(0x7019);
+    let mut sorted: Vec<NodeId> = arrivals.keys().copied().collect();
+    sorted.sort();
+    let seeds: std::collections::HashMap<NodeId, u64> = sorted
+        .into_iter()
+        .map(|n| (n, seed_rng.next_u64()))
+        .collect();
+    GridNetwork::build(g, params, env, cfg, source_pulses, rng, |id, wiring| {
+        let join_at = *arrivals.get(&id)?;
+        if id.layer == 0 {
+            return None; // layer 0 runs Algorithm 2; churn targets grid nodes
+        }
+        let inner = GradientTrixNode::new(
+            wiring.config,
+            wiring.own_pred,
+            wiring.neighbor_preds.clone(),
+        );
+        Some(Box::new(NewArrivalDesNode::new(
+            inner, join_at, stale_age, seeds[&id],
         )))
     })
 }
@@ -408,6 +536,46 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// A new arrival boots from a stale scrambled snapshot — recorded
+    /// reception extremes an epoch in the past — and must still splice
+    /// into the running grid: no pulse before the join time, then a
+    /// Λ-periodic tail once Algorithm 4 has sanitized the stale state.
+    #[test]
+    fn new_arrival_boots_stale_and_splices_in() {
+        let p = params();
+        let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(4), 4);
+        let lambda = p.lambda().as_f64();
+        let mut rng = Rng::seed_from(9);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let cfg = GridNodeConfig::standard(p, g.base().diameter());
+        let node = g.node(1, 2);
+        let arrivals: std::collections::HashMap<_, _> = [(node, LocalTime::from(7.0 * lambda))]
+            .into_iter()
+            .collect();
+        let stale_age = Duration::from(5.0 * lambda);
+        let mut net = arrival_network(&g, &p, &env, cfg, 30, &arrivals, stale_age, &mut rng);
+        net.run(Time::from(40.0 * lambda));
+        let by_node = net.broadcasts_by_node();
+        let pulses = &by_node[net.index.engine_id(node)];
+        assert!(
+            pulses.iter().all(|t| t.as_f64() >= 7.0 * lambda),
+            "pulse before arrival: {pulses:?}"
+        );
+        assert!(
+            pulses.len() >= 8,
+            "arrival stalled: {} pulses",
+            pulses.len()
+        );
+        let tail = &pulses[pulses.len() - 5..pulses.len() - 1];
+        for w in tail.windows(2) {
+            let gap = (w[1] - w[0]).as_f64();
+            assert!(
+                (gap - lambda).abs() < 2.0 * p.kappa().as_f64(),
+                "arrival did not sync into the grid: gap {gap}"
+            );
         }
     }
 

@@ -17,10 +17,16 @@
 //!   dataflow drivers (serial and `--sim-threads`-sharded);
 //! * [`is_one_local`] / [`sample_iid`] / [`sample_one_local`] /
 //!   [`clustered_column`] — placements for Theorems 1.2 and 1.3;
+//! * [`ChurnSchedule`] / [`ChurnCampaign`] — **open-world churn**:
+//!   SplitMix64-gated per-pulse join/leave/rejoin/flicker membership,
+//!   driving the engines through the `SendModel::is_member` hook
+//!   (absent nodes are masked per pulse, never ever-excluded);
 //! * [`SilentDesNode`] / [`BabblingDesNode`] / [`CrashRecoverDesNode`] /
-//!   [`scrambled_network`] / [`crash_recover_network`] — event-driven
+//!   [`NewArrivalDesNode`] / [`scrambled_network`] /
+//!   [`crash_recover_network`] / [`arrival_network`] — event-driven
 //!   fault machinery for the self-stabilization experiments
-//!   (Theorem 1.6) and the DES half of crash–recover campaigns.
+//!   (Theorem 1.6), the DES half of crash–recover campaigns, and
+//!   stale-state new arrivals.
 //!
 //! # Examples
 //!
@@ -41,14 +47,17 @@
 
 mod behavior;
 mod campaign;
+mod churn;
 mod des_nodes;
 mod placement;
 mod send_model;
 
 pub use behavior::FaultBehavior;
 pub use campaign::{FaultCampaign, FaultSchedule};
+pub use churn::{ChurnCampaign, ChurnSchedule};
 pub use des_nodes::{
-    crash_recover_network, scrambled_network, BabblingDesNode, CrashRecoverDesNode, SilentDesNode,
+    arrival_network, crash_recover_network, scrambled_network, BabblingDesNode,
+    CrashRecoverDesNode, NewArrivalDesNode, SilentDesNode,
 };
 pub use placement::{clustered_column, is_one_local, sample_iid, sample_one_local};
 pub use send_model::FaultySendModel;

@@ -2,7 +2,10 @@
 //! campaigns.
 
 use proptest::prelude::*;
-use trix_faults::{is_one_local, sample_one_local, FaultBehavior, FaultCampaign, FaultSchedule};
+use trix_faults::{
+    is_one_local, sample_one_local, ChurnCampaign, ChurnSchedule, FaultBehavior, FaultCampaign,
+    FaultSchedule,
+};
 use trix_sim::{
     run_dataflow_barrier, run_dataflow_observed, run_dataflow_parallel, Environment, Observer,
     OffsetLayer0, PulseRule, Rng, SequenceEnvironment, StaticEnvironment,
@@ -84,6 +87,42 @@ fn random_campaign(g: &LayeredGraph, density: f64, pulses: usize, seed: u64) -> 
         };
         (n, schedule)
     }))
+}
+
+/// A random churn campaign: i.i.d. flicker at the given rate as the
+/// default, plus overrides drawn from every schedule kind at random
+/// positions.
+fn random_churn_campaign(
+    g: &LayeredGraph,
+    rate: f64,
+    pulses: usize,
+    overrides: usize,
+    seed: u64,
+) -> ChurnCampaign {
+    let mut rng = Rng::seed_from(seed);
+    let mut campaign = ChurnCampaign::flicker(rate, rng.next_u64());
+    for i in 0..overrides {
+        let v = rng.usize_below(g.width());
+        let layer = rng.usize_below(g.layer_count());
+        let schedule = match i % 4 {
+            0 => ChurnSchedule::JoinAt {
+                pulse: rng.usize_below(pulses.max(1)),
+            },
+            1 => ChurnSchedule::LeaveAt {
+                pulse: rng.usize_below(pulses.max(1)),
+            },
+            2 => {
+                let leave = rng.usize_below(pulses.max(1));
+                ChurnSchedule::Rejoin {
+                    leave,
+                    rejoin: leave + 1 + rng.usize_below(pulses.max(1)),
+                }
+            }
+            _ => ChurnSchedule::Resident,
+        };
+        campaign.insert(g.node(v, layer), schedule);
+    }
+    campaign
 }
 
 proptest! {
@@ -211,6 +250,122 @@ proptest! {
         } else {
             check(&g, &static_env, &layer0, &campaign, pulses, threads)?;
         }
+    }
+
+    /// The churn determinism contract at the engine level: a churn
+    /// campaign — random rate, random join/leave/rejoin/flicker mix —
+    /// masks the **same** membership through all three drivers, so the
+    /// serial, frontier, and barrier event streams are bit-identical
+    /// for every `--sim-threads` worker count in 1–4, and the emitted
+    /// set is exactly the campaign's member set at each pulse.
+    #[test]
+    fn churn_under_sim_threads_equals_serial(
+        seed in any::<u64>(),
+        width in 3usize..10,
+        layers in 2usize..7,
+        rate in 0.0f64..0.25,
+        pulses in 1usize..4,
+        overrides in 0usize..6,
+        threads in 1usize..5,
+        per_pulse in any::<bool>(),
+    ) {
+        let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(width), layers);
+        let campaign = random_churn_campaign(&g, rate, pulses, overrides, seed);
+        let mut env_rng = Rng::seed_from(seed ^ 0xC0FF);
+        let static_env = StaticEnvironment::random(
+            &g,
+            Duration::from(10.0),
+            Duration::from(1.0),
+            1.01,
+            &mut env_rng,
+        );
+        let seq_env = SequenceEnvironment::new(vec![
+            static_env.clone(),
+            StaticEnvironment::random(
+                &g,
+                Duration::from(10.0),
+                Duration::from(1.0),
+                1.01,
+                &mut env_rng,
+            ),
+        ]);
+        let layer0 = OffsetLayer0::synchronized(30.0, g.width());
+        let mut serial = EventLog::default();
+        let mut frontier = EventLog::default();
+        let mut barrier = EventLog::default();
+        if per_pulse {
+            run_dataflow_observed(&g, &seq_env, &layer0, &MaxPlus, &campaign, pulses, &mut serial);
+            run_dataflow_parallel(
+                &g, &seq_env, &layer0, &MaxPlus, &campaign, pulses, threads, &mut frontier,
+            );
+            run_dataflow_barrier(
+                &g, &seq_env, &layer0, &MaxPlus, &campaign, pulses, threads, &mut barrier,
+            );
+        } else {
+            run_dataflow_observed(
+                &g, &static_env, &layer0, &MaxPlus, &campaign, pulses, &mut serial,
+            );
+            run_dataflow_parallel(
+                &g, &static_env, &layer0, &MaxPlus, &campaign, pulses, threads, &mut frontier,
+            );
+            run_dataflow_barrier(
+                &g, &static_env, &layer0, &MaxPlus, &campaign, pulses, threads, &mut barrier,
+            );
+        }
+        prop_assert_eq!(&serial, &frontier);
+        prop_assert_eq!(&serial, &barrier);
+        // Masking semantics: no absent node ever emits, and on layer 0
+        // (fed directly by the synchronized source, so the rule cannot
+        // go silent on its own) the emitted set is *exactly* the member
+        // set. Layers ≥ 1 may additionally drop members whose entire
+        // predecessor row churned out — that is dataflow, not a leak.
+        for k in 0..pulses {
+            let emitted: std::collections::HashSet<NodeId> = serial
+                .pulses
+                .iter()
+                .filter(|&&(pk, _, _)| pk == k)
+                .map(|&(_, n, _)| n)
+                .collect();
+            for n in g.nodes() {
+                if !campaign.is_member(n, k) {
+                    prop_assert!(!emitted.contains(&n), "absent {:?} emitted at {}", n, k);
+                } else if n.layer == 0 {
+                    prop_assert!(emitted.contains(&n), "member {:?} silent at {}", n, k);
+                }
+            }
+        }
+    }
+
+    /// Churn membership is a pure function of `(seed, node, pulse)`:
+    /// identical campaigns replay identical absent sets, the flicker
+    /// share tracks its nominal rate, and `is_faulty` never ever-excludes
+    /// a churning node (absence is per-pulse masking only).
+    #[test]
+    fn churn_membership_replays_and_calibrates(
+        seed in any::<u64>(),
+        rate in 0.0f64..0.5,
+    ) {
+        use trix_sim::SendModel;
+        let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(10), 8);
+        let pulses = 6;
+        let a = random_churn_campaign(&g, rate, pulses, 4, seed);
+        let b = random_churn_campaign(&g, rate, pulses, 4, seed);
+        let mut total_absent = 0usize;
+        for k in 0..pulses {
+            let absent = a.absent_set(&g, k);
+            prop_assert_eq!(&absent, &b.absent_set(&g, k));
+            prop_assert_eq!(absent.len(), a.absent_count(&g, k));
+            prop_assert!(absent.windows(2).all(|w| w[0] < w[1]), "sorted");
+            total_absent += absent.len();
+        }
+        for n in g.nodes() {
+            prop_assert!(!a.is_faulty(n), "churn must not ever-exclude {:?}", n);
+        }
+        let share = total_absent as f64 / (pulses * g.node_count()) as f64;
+        // Binomial concentration: ~480 samples, tolerance 4σ + override
+        // slack (4 overrides can shift up to 4/80 per pulse).
+        let sigma = (rate * (1.0 - rate) / (pulses * g.node_count()) as f64).sqrt();
+        prop_assert!((share - rate).abs() <= 4.0 * sigma + 0.06);
     }
 
     /// Campaign gating is a pure function of `(node, pulse)`: the active

@@ -52,7 +52,13 @@ use std::fmt::Write as _;
 ///   `--threads` and `--sim-threads` — so [`BenchReport::canonicalized`]
 ///   keeps it, and CI's byte-identity gates cover actual dynamics, not
 ///   just summary stats.
-pub const BENCH_SCHEMA_VERSION: u32 = 7;
+/// * **8** — added the per-record `churn` field: the churn-campaign
+///   descriptor of scenarios that ran under open-world membership churn
+///   (`trix_faults::ChurnCampaign`; `null` for closed-world scenarios).
+///   Workload metadata like `campaign` and `topology`: it describes
+///   *what* the scenario computed, so [`BenchReport::canonicalized`]
+///   keeps it.
+pub const BENCH_SCHEMA_VERSION: u32 = 8;
 
 /// Process-wide CPU detection the sweep ran under — the report-level
 /// `parallelism` object of schema v5.
@@ -276,6 +282,12 @@ pub struct BenchRecord {
     /// Workload metadata like `campaign`: survives
     /// [`BenchReport::canonicalized`].
     pub topology: Option<String>,
+    /// Churn-campaign descriptor of scenarios that ran under open-world
+    /// membership churn (schema v8), e.g. `"flicker r=0.05 grid
+    /// w=1280"`. `None` identifies closed-world scenarios (fixed node
+    /// set — possibly faulty, but never absent). Workload metadata like
+    /// `campaign`: survives [`BenchReport::canonicalized`].
+    pub churn: Option<String>,
     /// Compressed POD sketch of the scenario's pulse-front matrix
     /// (schema v7), when the scenario ran a `PodSketch` observer.
     /// Deterministic workload output — survives
@@ -423,6 +435,12 @@ impl BenchRecord {
             }
             None => out.push_str(", \"topology\": null"),
         }
+        match &self.churn {
+            Some(c) => {
+                let _ = write!(out, ", \"churn\": \"{}\"", json_escape(c));
+            }
+            None => out.push_str(", \"churn\": null"),
+        }
         match &self.sketch {
             Some(s) => {
                 out.push_str(", \"sketch\": ");
@@ -494,6 +512,7 @@ mod tests {
                 skew: None,
                 campaign: None,
                 topology: None,
+                churn: None,
                 sketch: None,
                 wall_secs: 0.25,
             }],
@@ -503,7 +522,7 @@ mod tests {
     #[test]
     fn json_contains_versioned_schema_and_fields() {
         let j = sample().to_json();
-        assert!(j.contains("\"schema_version\": 7"));
+        assert!(j.contains("\"schema_version\": 8"));
         assert!(j.contains("\"parallelism\": {\"workers\": 4, \"detection_failed\": false}"));
         assert!(j.contains("\"experiment\": \"thm11\""));
         assert!(j.contains("\"params\": {\"width\": \"8\"}"));
@@ -515,6 +534,7 @@ mod tests {
         assert!(j.contains("\"skew\": null"));
         assert!(j.contains("\"campaign\": null"));
         assert!(j.contains("\"topology\": null"));
+        assert!(j.contains("\"churn\": null"));
         assert!(j.contains("\"sketch\": null"));
         assert!(j.contains("\"wall_secs\": 0.25"));
     }
@@ -555,6 +575,19 @@ mod tests {
         assert!(j.contains("\"topology\": \"v1 torus rows=3 cols=4 n=12 m=24 deg=4..4 D=3\""));
         let c = r.canonicalized();
         assert_eq!(c.records[0].topology, r.records[0].topology);
+    }
+
+    /// Schema v8: the churn descriptor serializes and survives
+    /// canonicalization — membership churn is part of the workload, not
+    /// the execution.
+    #[test]
+    fn churn_descriptor_serializes_and_survives_canonicalization() {
+        let mut r = sample();
+        r.records[0].churn = Some("flicker r=0.05 grid w=1280".into());
+        let j = r.to_json();
+        assert!(j.contains("\"churn\": \"flicker r=0.05 grid w=1280\""));
+        let c = r.canonicalized();
+        assert_eq!(c.records[0].churn, r.records[0].churn);
     }
 
     /// Schema v4: the campaign descriptor serializes (escaped) and

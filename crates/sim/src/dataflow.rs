@@ -59,6 +59,25 @@ pub trait SendModel {
 
     /// Whether `node` is faulty (excluded from skew metrics).
     fn is_faulty(&self, node: NodeId) -> bool;
+
+    /// Whether `node` is a *member* of the network at iteration `k` —
+    /// the open-world churn hook. Non-members are not evaluated at all:
+    /// every engine publishes `None` in their row slot, so departed
+    /// nodes stop emitting (observers see a masked slot, successors see
+    /// a missing predecessor) and arrivals splice back in the moment
+    /// this returns `true` again. The gate runs inside the shared
+    /// `eval_layer_chunk` plus each driver's layer-0 derivation, so
+    /// membership epochs are bit-identical across the serial, barrier,
+    /// and frontier legs for every thread count.
+    ///
+    /// The default — everyone is always a member — preserves the exact
+    /// closed-world semantics (and fingerprints) of every pre-churn
+    /// send model.
+    #[inline]
+    fn is_member(&self, node: NodeId, k: usize) -> bool {
+        let _ = (node, k);
+        true
+    }
 }
 
 /// The fault-free send model: every node broadcasts its nominal pulse.
@@ -315,7 +334,9 @@ pub fn run_dataflow_observed(
     let mut scratch: Vec<Option<Time>> = Vec::with_capacity(csr.max_in_degree());
     for k in 0..pulses {
         for (v, slot) in prev.iter_mut().enumerate() {
-            *slot = Some(layer0.pulse_time(k, v));
+            *slot = sends
+                .is_member(NodeId::new(v as u32, 0), k)
+                .then(|| layer0.pulse_time(k, v));
         }
         obs.on_pulse_row(k, 0, &prev);
         for layer in 1..g.layer_count() {
@@ -369,6 +390,13 @@ pub(crate) fn eval_layer_chunk(
     for (i, slot) in out.iter_mut().enumerate() {
         let w = lo + i;
         let target = NodeId::new(w as u32, layer as u32);
+        // Open-world gate: a departed node is not evaluated at all — its
+        // published slot is `None`, which silences its sends next layer
+        // and masks it from observers, identically in every driver.
+        if !sends.is_member(target, k) {
+            *slot = None;
+            continue;
+        }
         let row = csr.in_edges(w);
         let own = sends
             .send_time(NodeId::new(w as u32, sender_layer), k, prev[w], target)
@@ -601,7 +629,9 @@ pub fn run_dataflow_barrier(
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 let mut row = write_prev();
                 for (v, slot) in row.iter_mut().enumerate() {
-                    *slot = Some(layer0.pulse_time(k, v));
+                    *slot = sends
+                        .is_member(NodeId::new(v as u32, 0), k)
+                        .then(|| layer0.pulse_time(k, v));
                 }
                 obs.on_pulse_row(k, 0, &row[..]);
             }));

@@ -65,7 +65,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use trix_time::Time;
-use trix_topology::{InEdgeCsr, LayeredGraph, LayeredView};
+use trix_topology::{InEdgeCsr, LayeredGraph, LayeredView, NodeId};
 
 /// Worker count a `threads == 0` knob resolves to when
 /// [`std::thread::available_parallelism`] fails (unsupported platform,
@@ -362,9 +362,13 @@ pub(crate) fn run_frontier(
                                 let step = (k * layer_count + layer) as i64;
                                 if layer == 0 {
                                     // Layer 0 is a pure source: no frontier
-                                    // wait, each worker derives its own slice.
+                                    // wait, each worker derives its own slice
+                                    // (membership-gated like the serial leg).
                                     for (i, slot) in out.iter_mut().enumerate() {
-                                        *slot = Some(layer0.pulse_time(k, plan.lo + i));
+                                        let v = plan.lo + i;
+                                        *slot = sends
+                                            .is_member(NodeId::new(v as u32, 0), k)
+                                            .then(|| layer0.pulse_time(k, v));
                                     }
                                 } else {
                                     for (dep, dep_lo, cols) in &plan.deps {

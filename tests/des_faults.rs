@@ -3,9 +3,9 @@
 //! inside a live grid.
 
 use gradient_trix::core::{GridNetwork, GridNodeConfig, Params};
-use gradient_trix::faults::{BabblingDesNode, SilentDesNode};
+use gradient_trix::faults::{arrival_network, BabblingDesNode, SilentDesNode};
 use gradient_trix::sim::{Node, Rng, StaticEnvironment};
-use gradient_trix::time::{Duration, Time};
+use gradient_trix::time::{Duration, LocalTime, Time};
 use gradient_trix::topology::{BaseGraph, LayeredGraph};
 
 fn params() -> Params {
@@ -152,6 +152,74 @@ fn silent_node_in_des_grid_is_tolerated() {
     let by_node = net.broadcasts_by_node();
     assert!(by_node[net.index.engine_id(bad)].is_empty());
     assert_correct_nodes_periodic(&g, &net, &p, bad, 2.0);
+}
+
+/// Rejoin-resync regression for **genuinely new arrivals** (open-world
+/// churn): a node that joins mid-run boots from a *stale* state snapshot
+/// — its scrambled `H_min`/`H_max` reception extremes are centered a
+/// configurable age in the past, so across seeds they include exactly
+/// the inverted-extremes shape that panicked `correction()` before the
+/// PR-2 sanitization fix. Every seed must (a) complete without that
+/// panic, (b) keep the arrival silent until its join time, (c) resync
+/// the arrival into Λ-periodic pulsing, and (d) leave the resident
+/// grid's steady state untouched.
+#[test]
+fn new_arrivals_with_stale_state_resync_without_extreme_inversion() {
+    let p = params();
+    let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(5), 5);
+    let lambda = p.lambda().as_f64();
+    for seed in 0..14u64 {
+        let mut rng = Rng::seed_from(seed);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let cfg = GridNodeConfig::standard(p, g.base().diameter());
+        // Two arrivals in different columns and layers, both booting
+        // from snapshots 5Λ stale relative to their join instant.
+        let late = g.node(2, 2);
+        let later = g.node(4, 3);
+        let arrivals: std::collections::HashMap<_, _> = [
+            (late, LocalTime::from(6.0 * lambda)),
+            (later, LocalTime::from(9.0 * lambda)),
+        ]
+        .into_iter()
+        .collect();
+        let stale_age = p.lambda() * 5.0;
+        let mut net = arrival_network(&g, &p, &env, cfg, 30, &arrivals, stale_age, &mut rng);
+        net.des.set_max_events(2_000_000);
+        net.run(Time::from(40.0 * lambda));
+        let by_node = net.broadcasts_by_node();
+        for (&node, &join_at) in &arrivals {
+            let pulses = &by_node[net.index.engine_id(node)];
+            assert!(
+                pulses.iter().all(|t| t.as_f64() >= join_at.as_f64()),
+                "seed {seed}: {node} pulsed before joining: {pulses:?}"
+            );
+            assert!(
+                pulses.len() >= 8,
+                "seed {seed}: arrival {node} stalled with {} pulses",
+                pulses.len()
+            );
+            let tail = &pulses[pulses.len() - 5..pulses.len() - 1];
+            for w in tail.windows(2) {
+                let gap = (w[1] - w[0]).as_f64();
+                assert!(
+                    (gap - lambda).abs() < 2.0 * p.kappa().as_f64(),
+                    "seed {seed}: arrival {node} did not resync, gap {gap}"
+                );
+            }
+        }
+        // Residents never notice the joins beyond transient timing: the
+        // whole grid (arrivals included, by now resynced) is periodic.
+        for layer in 1..g.layer_count() {
+            for v in 0..g.width() {
+                let node = g.node(v, layer);
+                let pulses = &by_node[net.index.engine_id(node)];
+                assert!(
+                    !pulses.is_empty(),
+                    "seed {seed}: resident {node} starved during churn"
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -4,7 +4,8 @@
 
 use gradient_trix::core::{GradientTrixRule, GridNetwork, GridNodeConfig, Layer0Line, Params};
 use gradient_trix::faults::{
-    crash_recover_network, FaultBehavior, FaultCampaign, FaultSchedule, FaultySendModel,
+    arrival_network, crash_recover_network, ChurnCampaign, ChurnSchedule, FaultBehavior,
+    FaultCampaign, FaultSchedule, FaultySendModel,
 };
 use gradient_trix::sim::{run_dataflow, Rng, StaticEnvironment};
 use gradient_trix::time::{Duration, LocalTime, Time};
@@ -225,6 +226,74 @@ fn seeded_campaign_traces_are_bit_identical() {
         fingerprint(),
         fingerprint(),
         "seeded campaign produced diverging traces"
+    );
+}
+
+/// The churn extension of the campaign regression: an **open-world**
+/// membership campaign — i.i.d. flicker plus join/leave/rejoin epoch
+/// events — on the dataflow engine, plus a stale-state new arrival on
+/// the DES engine, must fingerprint bit-identically across runs. Pins
+/// that per-pulse membership gating (SplitMix64 keyed on
+/// `(seed, node, pulse)`) and arrival scrambling (forked streams) never
+/// consume nondeterministic state.
+#[test]
+fn seeded_churn_traces_are_bit_identical() {
+    let p = params();
+    let g = LayeredGraph::new(BaseGraph::line_with_replicated_ends(9), 9);
+    let campaign = ChurnCampaign::from_schedules(
+        ChurnSchedule::Flicker { rate: 0.1 },
+        0xC4A2_2026,
+        [
+            (g.node(2, 1), ChurnSchedule::JoinAt { pulse: 2 }),
+            (g.node(6, 4), ChurnSchedule::LeaveAt { pulse: 2 }),
+            (
+                g.node(4, 7),
+                ChurnSchedule::Rejoin {
+                    leave: 1,
+                    rejoin: 3,
+                },
+            ),
+        ],
+    );
+    let fingerprint = || {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+
+        // Dataflow engine under per-pulse membership masking.
+        let mut rng = Rng::seed_from(0xC4A2_2026);
+        let env = StaticEnvironment::random(&g, p.d(), p.u(), p.theta(), &mut rng);
+        let layer0 = Layer0Line::random_for_line(&p, g.width(), &mut rng);
+        let trace = run_dataflow(&g, &env, &layer0, &GradientTrixRule::new(p), &campaign, 4);
+        for k in 0..4 {
+            for n in g.nodes() {
+                match trace.time(k, n) {
+                    Some(t) => mix(&mut h, t.as_f64().to_bits()),
+                    None => mix(&mut h, u64::MAX),
+                }
+            }
+        }
+
+        // DES engine with a genuinely new arrival booting stale state.
+        let small = LayeredGraph::new(BaseGraph::line_with_replicated_ends(4), 4);
+        let mut rng = Rng::seed_from(0xC4A2_2026);
+        let env = StaticEnvironment::random(&small, p.d(), p.u(), p.theta(), &mut rng);
+        let cfg = GridNodeConfig::standard(p, small.base().diameter());
+        let arrivals: std::collections::HashMap<_, _> =
+            [(small.node(2, 2), LocalTime::from(6.0 * p.lambda().as_f64()))]
+                .into_iter()
+                .collect();
+        let stale = p.lambda() * 4.0;
+        let mut net = arrival_network(&small, &p, &env, cfg, 12, &arrivals, stale, &mut rng);
+        net.run(Time::from(1e9));
+        for b in net.des.broadcasts() {
+            mix(&mut h, b.node as u64);
+            mix(&mut h, b.time.as_f64().to_bits());
+        }
+        h
+    };
+    assert_eq!(
+        fingerprint(),
+        fingerprint(),
+        "seeded churn scenario produced diverging traces"
     );
 }
 

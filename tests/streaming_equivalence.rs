@@ -19,7 +19,9 @@ use trix_bench::common::{
     grid, merge_snapshots, run_gradient_trix, run_gradient_trix_graph, run_gradient_trix_streaming,
     standard_params, streaming_monitor,
 };
-use trix_bench::{exp_fault_sweep, exp_modes, exp_topology, run_suite, Scale, TraceMode};
+use trix_bench::{
+    exp_churn, exp_fault_sweep, exp_modes, exp_topology, run_suite, Scale, TraceMode,
+};
 use trix_runner::BenchRecord;
 
 /// Batch recomputation of a [`SkewStats`] snapshot from a full trace,
@@ -33,13 +35,20 @@ fn post_hoc_stats(g: &LayeredGraph, pulses: usize, seed: u64, sends: &impl SendM
     post_hoc_stats_from_trace(g, pulses, &trace)
 }
 
-/// [`post_hoc_stats`] for `exp_topology` records: same batch
-/// recomputation, but the trace comes from the graph-generic runner
-/// (BFS-forest layer 0) — the source the family sweep streams with.
-fn post_hoc_graph_stats(g: &LayeredGraph, pulses: usize, seed: u64) -> SkewStats {
+/// [`post_hoc_stats`] for `exp_topology`, `exp_modes`, and torus-leg
+/// `exp_churn` records: same batch recomputation, but the trace comes
+/// from the graph-generic runner (BFS-forest layer 0) — the source the
+/// family sweeps stream with. `sends` is `CorrectSends` for fault-free
+/// sweeps and the reconstructed `ChurnCampaign` for `exp_churn`.
+fn post_hoc_graph_stats(
+    g: &LayeredGraph,
+    pulses: usize,
+    seed: u64,
+    sends: &impl SendModel,
+) -> SkewStats {
     let p = standard_params();
     let rule = GradientTrixRule::new(p);
-    let (trace, _) = run_gradient_trix_graph(g, &p, &rule, &CorrectSends, pulses, seed);
+    let (trace, _) = run_gradient_trix_graph(g, &p, &rule, sends, pulses, seed);
     post_hoc_stats_from_trace(g, pulses, &trace)
 }
 
@@ -160,7 +169,25 @@ fn suite_streaming_stats_equal_post_hoc_for_any_thread_count() {
                             post_hoc_stats(&g, pulses, seed, &campaign)
                         }
                         exp_modes::Workload::Torus | exp_modes::Workload::Supernode => {
-                            post_hoc_graph_stats(&g, pulses, seed)
+                            post_hoc_graph_stats(&g, pulses, seed, &CorrectSends)
+                        }
+                    };
+                }
+                if record.experiment == "exp_churn" {
+                    // Churn scenarios (schema v8 stamps the membership
+                    // descriptor): reconstruct the identical campaign
+                    // from the record's params and replay through the
+                    // trace-backed path — the line source on the grid
+                    // leg, the BFS-forest source on the torus leg.
+                    assert!(record.churn.is_some(), "churn records are stamped");
+                    let point = exp_churn::point_from_params(&record.params).expect("sweep point");
+                    let (g, topology) = exp_churn::deployment(&point);
+                    assert_eq!(record.topology.is_some(), topology.is_some());
+                    let campaign = exp_churn::campaign_for(&g, &point, seed);
+                    return match point.topo {
+                        exp_churn::TopoClass::Grid => post_hoc_stats(&g, pulses, seed, &campaign),
+                        exp_churn::TopoClass::Torus => {
+                            post_hoc_graph_stats(&g, pulses, seed, &campaign)
                         }
                     };
                 }
@@ -173,7 +200,7 @@ fn suite_streaming_stats_equal_post_hoc_for_any_thread_count() {
                     let point = exp_topology::point_from_params(&record.params)
                         .expect("sweep point from params");
                     let g = exp_topology::layered(&point);
-                    return post_hoc_graph_stats(&g, pulses, seed);
+                    return post_hoc_graph_stats(&g, pulses, seed, &CorrectSends);
                 }
                 let width = param(record, "width").expect("width param");
                 let layers = param(record, "layers").unwrap_or(width); // exp_scale & fault sweep: square
@@ -272,16 +299,17 @@ fn sketch_certificate_holds_on_full_trace_grids() {
 }
 
 /// The new schema round-trips through disk: the written
-/// `BENCH_exp_scale.json` re-reads byte-identically and carries the v7
+/// `BENCH_exp_scale.json` re-reads byte-identically and carries the v8
 /// version tag, the parallelism stamp, the `sim_threads` execution
-/// metadata, the streamed statistics, and the compressed sketch.
+/// metadata, the streamed statistics, the compressed sketch, and the
+/// churn descriptor.
 #[test]
-fn exp_scale_record_round_trips_schema_v7() {
+fn exp_scale_record_round_trips_schema_v8() {
     let outcome = run_suite(Scale::Smoke, 7, 2, TraceMode::NoTrace, 2);
     let report = outcome.report.filtered("exp_scale");
     assert!(!report.records.is_empty());
     let json = report.to_json();
-    assert!(json.contains("\"schema_version\": 7"));
+    assert!(json.contains("\"schema_version\": 8"));
     // Schema v5: the report is stamped with the process's actual CPU
     // detection (the harness can't masquerade a failed detection as a
     // perf regression).
@@ -317,6 +345,18 @@ fn exp_scale_record_round_trips_schema_v7() {
     assert!(!modes.records.is_empty());
     assert!(modes.records.iter().all(|r| r.sketch.is_some()));
     assert!(modes.to_json().contains("\"sketch\": {\"rank\":"));
+    // Schema v8: closed-world experiments truthfully carry a null churn
+    // descriptor; every `exp_churn` record is stamped, and the torus leg
+    // additionally carries its versioned topology descriptor.
+    assert!(json.contains("\"churn\": null"));
+    let churn = outcome.report.filtered("exp_churn");
+    assert!(!churn.records.is_empty());
+    assert!(churn.records.iter().all(|r| r.churn.is_some()));
+    let churn_json = churn.to_json();
+    assert!(churn_json.contains("\"churn\": \"resident r=0.00 grid w=12\""));
+    assert!(churn_json.contains("\"churn\": \"flicker r=0.10 grid w=12\""));
+    assert!(churn_json.contains("\"churn\": \"mix r=0.10 torus w=6\""));
+    assert!(churn_json.contains("\"topology\": \"v1 torus"));
     let path = std::env::temp_dir().join("BENCH_exp_scale_roundtrip.json");
     std::fs::write(&path, &json).expect("write");
     let back = std::fs::read_to_string(&path).expect("read");
